@@ -1,0 +1,246 @@
+//! **Asset transfer** — the third object of Cohen & Keidar [5], signature-
+//! free for `n > 3f`.
+//!
+//! Asset transfer is consensusless: because every account has a single
+//! owner, it suffices that the owner's outgoing transfers form one agreed
+//! sequence — exactly what the FIFO [`ReliableBroadcast`] built from sticky
+//! registers provides. An observer applies owner `o`'s `k`-th transfer only
+//! after `o`'s previous transfers and enough incoming credits are applied,
+//! so Byzantine owners cannot double-spend: all correct observers evaluate
+//! the *same* transfer sequence against the *same* validity rule.
+//!
+//! [`ReliableBroadcast`]: crate::reliable_broadcast::ReliableBroadcast
+
+use std::collections::HashMap;
+
+use byzreg_runtime::{ProcessId, Result, System};
+
+use crate::reliable_broadcast::{RbEndpoint, ReliableBroadcast};
+
+/// A transfer order: `amount` from the broadcasting owner to `to`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Transfer {
+    /// Recipient account (a process id index).
+    pub to: usize,
+    /// Amount.
+    pub amount: u64,
+}
+
+/// The asset-transfer object: account ledger over reliable broadcast.
+pub struct AssetTransfer {
+    rb: ReliableBroadcast<Transfer>,
+    initial: u64,
+    n: usize,
+}
+
+impl AssetTransfer {
+    /// Installs the object; every account starts with `initial` units and
+    /// each owner may issue at most `slots` transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    #[must_use]
+    pub fn install(system: &System, initial: u64, slots: usize) -> Self {
+        AssetTransfer {
+            rb: ReliableBroadcast::install(system, slots),
+            initial,
+            n: system.env().n(),
+        }
+    }
+
+    /// The wallet of a correct process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is declared Byzantine or the wallet was taken.
+    #[must_use]
+    pub fn wallet(&self, pid: ProcessId) -> Wallet {
+        Wallet {
+            pid,
+            n: self.n,
+            initial: self.initial,
+            rb: self.rb.endpoint(pid),
+            applied: Vec::new(),
+            pending: HashMap::new(),
+            own_seq: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for AssetTransfer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AssetTransfer(n = {}, initial = {})", self.n, self.initial)
+    }
+}
+
+/// A process's view of the ledger.
+pub struct Wallet {
+    pid: ProcessId,
+    n: usize,
+    initial: u64,
+    rb: RbEndpoint<Transfer>,
+    /// Applied transfers, in application order: `(owner, transfer)`.
+    applied: Vec<(usize, Transfer)>,
+    /// Delivered but not yet applicable transfers per owner (FIFO suffix).
+    pending: HashMap<usize, Vec<Transfer>>,
+    /// This process's own issued transfers (validated locally first).
+    own_seq: Vec<Transfer>,
+}
+
+impl Wallet {
+    /// This wallet's owner.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn balances(&self) -> Vec<u64> {
+        let mut bal = vec![self.initial; self.n];
+        for (owner, t) in &self.applied {
+            bal[*owner] -= t.amount;
+            bal[t.to] += t.amount;
+        }
+        bal
+    }
+
+    /// The balance of account `acc` (1-based, like process ids) in this
+    /// wallet's current view.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] on system shutdown.
+    pub fn balance(&mut self, acc: usize) -> Result<u64> {
+        self.sync()?;
+        Ok(self.balances()[acc - 1])
+    }
+
+    /// Issues a transfer from this wallet's account. Returns `false`
+    /// (without broadcasting) if the local view says the balance is
+    /// insufficient.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] on system shutdown.
+    pub fn transfer(&mut self, to: ProcessId, amount: u64) -> Result<bool> {
+        self.sync()?;
+        let me = self.pid.zero_based();
+        if self.balances()[me] < amount {
+            return Ok(false);
+        }
+        let t = Transfer { to: to.zero_based(), amount };
+        self.own_seq.push(t.clone());
+        self.rb.broadcast(t.clone())?;
+        self.applied.push((me, t));
+        Ok(true)
+    }
+
+    /// Pulls newly delivered transfers and applies every one that became
+    /// valid (sufficient balance at its FIFO position).
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] on system shutdown.
+    pub fn sync(&mut self) -> Result<()> {
+        // Drain new deliveries into per-owner pending queues.
+        for s in 1..=self.n {
+            let sender = ProcessId::new(s);
+            if sender == self.pid {
+                continue;
+            }
+            for (_, t) in self.rb.deliver_all(sender)? {
+                self.pending.entry(s - 1).or_default().push(t);
+            }
+        }
+        // Apply pending transfers until a fixpoint: a transfer applies only
+        // if its owner's balance covers it, in the owner's FIFO order.
+        loop {
+            let bal = self.balances();
+            let mut progressed = false;
+            for (owner, queue) in &mut self.pending {
+                if let Some(front) = queue.first() {
+                    if bal[*owner] >= front.amount {
+                        let t = queue.remove(0);
+                        self.applied.push((*owner, t));
+                        progressed = true;
+                        break; // balances changed; recompute
+                    }
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Wallet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Wallet({})", self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_runtime::Scheduling;
+
+    #[test]
+    fn transfers_move_money() {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(81)).build();
+        let at = AssetTransfer::install(&system, 100, 4);
+        let mut w2 = at.wallet(ProcessId::new(2));
+        let mut w3 = at.wallet(ProcessId::new(3));
+        assert!(w2.transfer(ProcessId::new(3), 40).unwrap());
+        assert_eq!(w3.balance(3).unwrap(), 140);
+        assert_eq!(w3.balance(2).unwrap(), 60);
+        assert_eq!(w2.balance(2).unwrap(), 60);
+        system.shutdown();
+    }
+
+    #[test]
+    fn overdrafts_are_rejected_locally() {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(82)).build();
+        let at = AssetTransfer::install(&system, 10, 4);
+        let mut w2 = at.wallet(ProcessId::new(2));
+        assert!(!w2.transfer(ProcessId::new(3), 11).unwrap());
+        assert_eq!(w2.balance(2).unwrap(), 10);
+        system.shutdown();
+    }
+
+    #[test]
+    fn received_funds_can_be_forwarded() {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(83)).build();
+        let at = AssetTransfer::install(&system, 50, 4);
+        let mut w2 = at.wallet(ProcessId::new(2));
+        let mut w3 = at.wallet(ProcessId::new(3));
+        let mut w4 = at.wallet(ProcessId::new(4));
+        assert!(w2.transfer(ProcessId::new(3), 50).unwrap());
+        // p3 now has 100 and forwards 75 to p4 — only valid after applying
+        // the incoming credit.
+        assert!(w3.transfer(ProcessId::new(4), 75).unwrap());
+        assert_eq!(w4.balance(4).unwrap(), 125);
+        assert_eq!(w4.balance(3).unwrap(), 25);
+        assert_eq!(w4.balance(2).unwrap(), 0);
+        system.shutdown();
+    }
+
+    #[test]
+    fn observers_converge_on_the_same_ledger() {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(84)).build();
+        let at = AssetTransfer::install(&system, 100, 4);
+        let mut wallets: Vec<_> = (1..=4).map(|i| at.wallet(ProcessId::new(i))).collect();
+        assert!(wallets[0].transfer(ProcessId::new(2), 10).unwrap());
+        assert!(wallets[1].transfer(ProcessId::new(3), 20).unwrap());
+        assert!(wallets[2].transfer(ProcessId::new(4), 30).unwrap());
+        let views: Vec<Vec<u64>> = wallets
+            .iter_mut()
+            .map(|w| (1..=4).map(|a| w.balance(a).unwrap()).collect())
+            .collect();
+        for v in &views {
+            assert_eq!(*v, views[0], "all correct observers agree");
+            assert_eq!(v.iter().sum::<u64>(), 400, "money is conserved");
+        }
+        system.shutdown();
+    }
+}

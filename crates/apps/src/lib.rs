@@ -1,0 +1,24 @@
+//! # byzreg-apps
+//!
+//! Signature-free applications built on the registers of `byzreg-core`,
+//! realizing the transformations described in §1–§2 of the paper:
+//!
+//! * [`non_equivocation`] — non-equivocating broadcast from sticky
+//!   registers (the §8 construction; cf. Clement et al. [4]),
+//! * [`reliable_broadcast`] — Byzantine reliable broadcast, the
+//!   signature-free counterpart of Cohen & Keidar [5] (`n > 3f`),
+//! * [`snapshot`] — Byzantine atomic snapshot from authenticated registers,
+//! * [`asset_transfer`] — consensusless asset transfer over the broadcast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asset_transfer;
+pub mod non_equivocation;
+pub mod reliable_broadcast;
+pub mod snapshot;
+
+pub use asset_transfer::{AssetTransfer, Transfer, Wallet};
+pub use non_equivocation::{NebEndpoint, NonEquivocatingBroadcast};
+pub use reliable_broadcast::{RbEndpoint, ReliableBroadcast};
+pub use snapshot::{AtomicSnapshot, SnapshotHandle};

@@ -1,0 +1,56 @@
+//! B5 — the cost of the §5.1 `set0`-reset mechanism under attack: `Verify`
+//! latency with vote-flipping Byzantine helpers (who stage the
+//! `f < k < 2f + 1` bind) versus a quiet system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use byzreg_bench::bench_system;
+use byzreg_core::{attacks, VerifiableRegister};
+use byzreg_runtime::{ProcessId, System};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversarial");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (n, f) in [(4usize, 1usize), (7, 2)] {
+        // Quiet system.
+        let system = bench_system(n);
+        let reg = VerifiableRegister::install(&system, 0u64);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(7).unwrap();
+        w.sign(&7).unwrap();
+        assert!(r.verify(&7).unwrap());
+        group.bench_with_input(BenchmarkId::new("verify_quiet", n), &n, |b, _| {
+            b.iter(|| assert!(r.verify(&7).unwrap()));
+        });
+        system.shutdown();
+
+        // f vote-flipping adversaries.
+        let mut builder = System::builder(n).scheduling(byzreg_runtime::Scheduling::Free);
+        for i in 0..f {
+            builder = builder.byzantine(ProcessId::new(n - i));
+        }
+        let system = builder.build();
+        let reg = VerifiableRegister::install(&system, 0u64);
+        for i in 0..f {
+            let pid = ProcessId::new(n - i);
+            let ports = reg.attack_ports(pid);
+            system.spawn_byzantine(pid, attacks::verifiable::vote_flipper(ports, 7));
+        }
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(7).unwrap();
+        w.sign(&7).unwrap();
+        assert!(r.verify(&7).unwrap());
+        group.bench_with_input(BenchmarkId::new("verify_under_flippers", n), &n, |b, _| {
+            b.iter(|| assert!(r.verify(&7).unwrap()));
+        });
+        system.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

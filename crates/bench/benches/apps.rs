@@ -1,0 +1,106 @@
+//! B7 — application-level cost of removing signatures: reliable broadcast
+//! (broadcast + first delivery) and snapshot (update + scan), signature-free
+//! at `n = 3f + 1`, vs the signed register baseline at `n = 2f + 1`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use byzreg_apps::{AtomicSnapshot, ReliableBroadcast};
+use byzreg_bench::bench_system;
+use byzreg_crypto::{CostModel, SignatureOracle, SignedVerifiableRegister};
+use byzreg_runtime::{ProcessId, System};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    // Signature-free reliable broadcast, n = 4 (f = 1).
+    group.bench_function("rb_sigfree_n4/broadcast_deliver", |b| {
+        b.iter_batched(
+            || {
+                let system = bench_system(4);
+                let rb = ReliableBroadcast::install(&system, 1);
+                let tx = rb.endpoint(ProcessId::new(2));
+                let rx = rb.endpoint(ProcessId::new(3));
+                (system, rb, tx, rx)
+            },
+            |(system, _rb, mut tx, mut rx)| {
+                tx.broadcast(7u64).unwrap();
+                assert_eq!(rx.try_deliver(ProcessId::new(2)).unwrap(), Some((0, 7)));
+                system.shutdown();
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+
+    // Signed-register "broadcast" (write + sign + verify), n = 3 (f = 1),
+    // with a realistic 50 µs crypto cost.
+    group.bench_function("rb_signed_n3/broadcast_deliver", |b| {
+        b.iter_batched(
+            || {
+                let system = System::builder(3).resilience(1).build();
+                let oracle =
+                    SignatureOracle::new(CostModel::uniform(Duration::from_micros(50)));
+                let reg = SignedVerifiableRegister::install(&system, 0u64, &oracle);
+                let w = reg.writer();
+                let r = reg.reader(ProcessId::new(2));
+                (system, reg, w, r)
+            },
+            |(system, _reg, mut w, mut r)| {
+                w.write(7).unwrap();
+                w.sign(&7).unwrap();
+                assert!(r.verify(&7).unwrap());
+                system.shutdown();
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+
+    // Snapshot update + scan. Algorithm 2's R1 accumulates every write, so
+    // the register is reinstalled per small batch to measure steady-state
+    // cost at a bounded history size.
+    group.bench_function("snapshot_n4/update", |b| {
+        b.iter_batched(
+            || {
+                let system = bench_system(4);
+                let snap = AtomicSnapshot::install(&system, 0u64);
+                let mut h = snap.handle(ProcessId::new(2));
+                h.update(1).unwrap();
+                (system, snap, h)
+            },
+            |(system, _snap, mut h)| {
+                for v in 0..16u64 {
+                    h.update(v).unwrap();
+                }
+                system.shutdown();
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+    group.bench_function("snapshot_n4/scan", |b| {
+        b.iter_batched(
+            || {
+                let system = bench_system(4);
+                let snap = AtomicSnapshot::install(&system, 0u64);
+                let mut h = snap.handle(ProcessId::new(2));
+                h.update(1).unwrap();
+                (system, snap, h)
+            },
+            |(system, _snap, mut h)| {
+                for _ in 0..16 {
+                    let _ = h.scan().unwrap();
+                }
+                system.shutdown();
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! B4 — signature-free vs signature-based: sweep the simulated crypto cost
+//! of the ideal-signature baseline and find where the paper's signature-free
+//! `Verify` (quorum voting, no crypto) beats signature verification.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use byzreg_bench::bench_system;
+use byzreg_core::VerifiableRegister;
+use byzreg_crypto::{CostModel, SignatureOracle, SignedVerifiableRegister};
+use byzreg_runtime::ProcessId;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let n = 4;
+
+    // Signature-free Algorithm 1.
+    let system = bench_system(n);
+    let reg = VerifiableRegister::install(&system, 0u64);
+    let mut w = reg.writer();
+    let mut r = reg.reader(ProcessId::new(2));
+    w.write(7).unwrap();
+    w.sign(&7).unwrap();
+    assert!(r.verify(&7).unwrap());
+    group.bench_function("signature_free/verify", |b| {
+        b.iter(|| assert!(r.verify(&7).unwrap()));
+    });
+    group.bench_function("signature_free/sign", |b| {
+        b.iter(|| w.sign(&7).unwrap());
+    });
+    system.shutdown();
+
+    // Signature-based baseline at several crypto costs. Real Ed25519
+    // verification costs roughly 50-200 µs on commodity hardware.
+    for cost_us in [0u64, 10, 50, 200] {
+        let system = bench_system(n);
+        let oracle = SignatureOracle::new(CostModel::uniform(Duration::from_micros(cost_us)));
+        let reg = SignedVerifiableRegister::install(&system, 0u64, &oracle);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(7).unwrap();
+        w.sign(&7).unwrap();
+        assert!(r.verify(&7).unwrap());
+        group.bench_with_input(BenchmarkId::new("signed/verify", cost_us), &cost_us, |b, _| {
+            b.iter(|| assert!(r.verify(&7).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("signed/sign", cost_us), &cost_us, |b, _| {
+            b.iter(|| w.sign(&7).unwrap());
+        });
+        system.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

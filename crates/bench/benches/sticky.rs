@@ -1,0 +1,59 @@
+//! B3 — the §9.1 trade-off: a sticky `Write` must wait for `n − f`
+//! witnesses before returning (a verifiable `Write` returns after one base
+//! write). Only the *first* sticky write pays the wait; this bench measures
+//! it by reinstalling the register per iteration, against the per-op costs
+//! of the other registers for context.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use byzreg_bench::{bench_system, SWEEP};
+use byzreg_core::{StickyRegister, VerifiableRegister};
+use byzreg_runtime::ProcessId;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sticky");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in SWEEP {
+        // First-write latency: needs a fresh register per iteration.
+        group.bench_with_input(BenchmarkId::new("first_write", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let system = bench_system(n);
+                    let reg = StickyRegister::install(&system);
+                    let w = reg.writer();
+                    (system, reg, w)
+                },
+                |(system, _reg, mut w)| {
+                    w.write(7u64).unwrap();
+                    system.shutdown();
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+
+        // Context: verifiable write on a shared long-lived system.
+        let system = bench_system(n);
+        let ver = VerifiableRegister::install(&system, 0u64);
+        let mut vw = ver.writer();
+        group.bench_with_input(BenchmarkId::new("verifiable_write", n), &n, |b, _| {
+            b.iter(|| vw.write(7).unwrap());
+        });
+
+        // Steady-state sticky read after the value settled.
+        let sticky = StickyRegister::install(&system);
+        let mut sw = sticky.writer();
+        sw.write(7u64).unwrap();
+        let mut sr = sticky.reader(ProcessId::new(2));
+        assert_eq!(sr.read().unwrap(), Some(7));
+        group.bench_with_input(BenchmarkId::new("read_settled", n), &n, |b, _| {
+            b.iter(|| assert_eq!(sr.read().unwrap(), Some(7)));
+        });
+        system.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

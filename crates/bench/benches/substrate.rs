@@ -1,0 +1,41 @@
+//! B6 — shared-memory vs message-passing instantiation: base-register
+//! read/write latency on the local lock-backed cell versus the `n > 3f`
+//! signature-free MP emulation (quorum round trips).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use byzreg_mp::{MpConfig, MpRegister};
+use byzreg_runtime::{register, FreeGate, ProcessId, StepGate};
+use std::sync::Arc;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    // Local shared-memory cell.
+    let gate: Arc<dyn StepGate> = Arc::new(FreeGate::new());
+    let (w, r) = register::swmr(gate, ProcessId::new(1), "R", 0u64);
+    group.bench_function("local/write", |b| b.iter(|| w.write(7)));
+    group.bench_function("local/read", |b| b.iter(|| assert_eq!(r.read(), 7)));
+
+    // Message-passing emulation, n = 4, f = 1.
+    let reg = MpRegister::spawn(&MpConfig::new(4), 0u64);
+    let writer = reg.client(ProcessId::new(1));
+    let reader = reg.client(ProcessId::new(2));
+    writer.write(7);
+    group.bench_function("mp/write", |b| b.iter(|| writer.write(7)));
+    group.bench_function("mp/read", |b| {
+        b.iter(|| {
+            let (_, v) = reader.read();
+            assert_eq!(v, 7);
+        })
+    });
+    reg.shutdown();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

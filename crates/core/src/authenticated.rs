@@ -1,0 +1,714 @@
+//! Algorithm 2: a SWMR **authenticated register** from plain SWMR registers,
+//! without signatures, for `n > 3f`.
+//!
+//! Every value written is atomically "signed with the writer's signature"
+//! (Definition 15): there is no separate `Sign` operation, and `Verify(v)`
+//! returns `true` iff `v` was written (or `v = v0`). Line numbers in
+//! comments refer to Algorithm 2 in the paper.
+//!
+//! Differences from Algorithm 1 (§7.1): the writer keeps a *single* register
+//! `R1` holding timestamped tuples `⟨ℓ, v⟩` (no separate `R*`), and `Read`
+//! internally runs the `Verify(−)` procedure on the freshest value before
+//! returning it — if verification fails (possible only with a Byzantine
+//! writer), the read returns `v0`.
+//!
+//! A Byzantine writer may store *malformed* content in `R1`; the
+//! [`WriterRecord::Garbage`] variant models exactly that, and `Read`'s
+//! type-check (line 5: "if `r` is a set of tuples of the form `⟨ℓ, v⟩`")
+//! is implemented faithfully.
+//!
+//! # Examples
+//!
+//! ```
+//! use byzreg_core::authenticated::AuthenticatedRegister;
+//! use byzreg_runtime::{ProcessId, System};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = System::builder(4).build();
+//! let reg = AuthenticatedRegister::install(&system, 0u64);
+//! let mut writer = reg.writer();
+//! let mut reader = reg.reader(ProcessId::new(2));
+//!
+//! writer.write(7)?;
+//! assert_eq!(reader.read()?, 7);
+//! assert!(reader.verify(&7)?, "writes are atomically signed");
+//! assert!(reader.verify(&0)?, "v0 is deemed signed");
+//! assert!(!reader.verify(&9)?);
+//! system.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeSet;
+
+use parking_lot::Mutex;
+
+use byzreg_runtime::{
+    Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, Roles, System,
+    Value, WritePort,
+};
+use byzreg_spec::registers::{AuthInv, AuthResp};
+
+use crate::quorum::{verify_quorum, AskerTracker, Reply};
+
+/// A process's witness set (content of `R_j`, `j ≠ 1`).
+pub type WitnessSet<V> = BTreeSet<V>;
+
+/// Content of the writer's register `R1`.
+///
+/// A correct writer only ever stores [`WriterRecord::Tuples`]; the
+/// [`WriterRecord::Garbage`] variant lets a Byzantine writer store content
+/// that is *not* "a set of tuples of the form `⟨ℓ, v⟩`", exercising the
+/// type-check in `Read` (Alg. 2 line 5).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum WriterRecord<V: Ord> {
+    /// A set of timestamped values `⟨ℓ, v⟩`.
+    Tuples(BTreeSet<(u64, V)>),
+    /// Malformed content (the payload is arbitrary adversary-chosen noise).
+    Garbage(u64),
+}
+
+impl<V: Value> WriterRecord<V> {
+    /// The set of values carried by the record (`{v | ⟨−, v⟩ ∈ r}`, line 30);
+    /// empty for garbage.
+    #[must_use]
+    pub fn values(&self) -> BTreeSet<V> {
+        match self {
+            WriterRecord::Tuples(set) => set.iter().map(|(_, v)| v.clone()).collect(),
+            WriterRecord::Garbage(_) => BTreeSet::new(),
+        }
+    }
+
+    /// The tuple with the greatest `⟨ℓ, v⟩` (footnote 8: lexicographic), if
+    /// the record is well-formed and non-empty.
+    #[must_use]
+    pub fn freshest(&self) -> Option<&(u64, V)> {
+        match self {
+            WriterRecord::Tuples(set) => set.iter().next_back(),
+            WriterRecord::Garbage(_) => None,
+        }
+    }
+}
+
+/// Read-only views of every shared register of one authenticated-register
+/// instance.
+pub struct SharedPorts<V: Ord> {
+    /// `R1` — the writer's timestamped-value set.
+    pub r1: ReadPort<WriterRecord<V>>,
+    /// `R_k` for readers `p2..=pn` (index `pid - 2`); witness sets.
+    pub witness: Vec<ReadPort<WitnessSet<V>>>,
+    /// `R_{j,k}` reply registers: `replies[j][k]`, `j` 0-based over all
+    /// processes, `k` 0-based over readers.
+    pub replies: Vec<Vec<ReadPort<Reply<V>>>>,
+    /// `C_k` for readers (index `pid - 2`).
+    pub askers: Vec<ReadPort<u64>>,
+}
+
+impl<V: Ord> Clone for SharedPorts<V> {
+    fn clone(&self) -> Self {
+        SharedPorts {
+            r1: self.r1.clone(),
+            witness: self.witness.clone(),
+            replies: self.replies.clone(),
+            askers: self.askers.clone(),
+        }
+    }
+}
+
+impl<V: Value> SharedPorts<V> {
+    fn reply_column(&self, reader_role: usize) -> Vec<ReadPort<Reply<V>>> {
+        let k = reader_role - 2;
+        self.replies.iter().map(|row| row[k].clone()).collect()
+    }
+}
+
+/// Write ports owned by one process, handed to a Byzantine adversary.
+pub struct AttackPorts<V: Ord> {
+    /// The faulty process.
+    pub pid: ProcessId,
+    /// `R1` — only for the writer; may be loaded with [`WriterRecord::Garbage`].
+    pub r1: Option<WritePort<WriterRecord<V>>>,
+    /// `R_pid` — only for readers.
+    pub witness: Option<WritePort<WitnessSet<V>>>,
+    /// `R_{pid,k}` for every reader `k`.
+    pub replies: Vec<WritePort<Reply<V>>>,
+    /// `C_pid` — only for readers.
+    pub asker: Option<WritePort<u64>>,
+    /// Read access to everything.
+    pub shared: SharedPorts<V>,
+}
+
+struct ProcessPorts<V: Ord> {
+    r1_w: Option<WritePort<WriterRecord<V>>>,
+    witness_w: Option<WritePort<WitnessSet<V>>>,
+    replies_w: Vec<WritePort<Reply<V>>>,
+    asker_w: Option<WritePort<u64>>,
+}
+
+/// One installed authenticated-register instance (Algorithm 2).
+pub struct AuthenticatedRegister<V: Ord> {
+    env: Env,
+    roles: Roles,
+    v0: V,
+    shared: SharedPorts<V>,
+    endpoints: Mutex<Vec<Option<ProcessPorts<V>>>>,
+    log: HistoryLog<AuthInv<V>, AuthResp<V>>,
+}
+
+impl<V: Value> AuthenticatedRegister<V> {
+    /// Installs the register on `system` with initial value `v0` and attaches
+    /// the `Help()` task of every correct process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f` (Theorem 31).
+    pub fn install(system: &System, v0: V) -> Self {
+        Self::install_with(system, v0, &LocalFactory)
+    }
+
+    /// Installs the register with `writer` playing the writer role (used by
+    /// objects that keep one authenticated cell per process, such as the
+    /// atomic snapshot of `byzreg-apps`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    pub fn install_for_writer(system: &System, v0: V, writer: ProcessId) -> Self {
+        let roles = Roles::with_writer(system.env().n(), writer);
+        Self::install_impl(system, v0, &LocalFactory, roles)
+    }
+
+    /// Like [`AuthenticatedRegister::install`], but sourcing base registers
+    /// from `factory` (e.g. a message-passing emulation, experiment E6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    pub fn install_with<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self {
+        let roles = Roles::identity(system.env().n());
+        Self::install_impl(system, v0, factory, roles)
+    }
+
+    fn install_impl<F: RegisterFactory>(
+        system: &System,
+        v0: V,
+        factory: &F,
+        roles: Roles,
+    ) -> Self {
+        let env = system.env().clone();
+        env.require_n_gt_3f();
+        let n = env.n();
+
+        // R1: writer's tuple set; initially {⟨0, v0⟩} (line "shared registers").
+        let mut init = BTreeSet::new();
+        init.insert((0u64, v0.clone()));
+        let (r1_w, r1_r) =
+            factory.create(&env, roles.actual(1), "R1".into(), WriterRecord::Tuples(init));
+
+        // R_k for readers: witness sets; initially {v0}.
+        let mut witness_w = Vec::with_capacity(n - 1);
+        let mut witness_r = Vec::with_capacity(n - 1);
+        for k in 2..=n {
+            let mut set = WitnessSet::new();
+            set.insert(v0.clone());
+            let (w, r) = factory.create(&env, roles.actual(k), format!("R[{k}]"), set);
+            witness_w.push(w);
+            witness_r.push(r);
+        }
+
+        // R_{j,k}: reply registers; initially ⟨∅, 0⟩.
+        let mut replies_w: Vec<Vec<WritePort<Reply<V>>>> = Vec::with_capacity(n);
+        let mut replies_r: Vec<Vec<ReadPort<Reply<V>>>> = Vec::with_capacity(n);
+        for j in 1..=n {
+            let mut row_w = Vec::with_capacity(n - 1);
+            let mut row_r = Vec::with_capacity(n - 1);
+            for k in 2..=n {
+                let (w, r) = factory.create(
+                    &env,
+                    roles.actual(j),
+                    format!("R[{j},{k}]"),
+                    (WitnessSet::<V>::new(), 0u64),
+                );
+                row_w.push(w);
+                row_r.push(r);
+            }
+            replies_w.push(row_w);
+            replies_r.push(row_r);
+        }
+
+        // C_k: reader round counters.
+        let mut asker_w = Vec::with_capacity(n - 1);
+        let mut asker_r = Vec::with_capacity(n - 1);
+        for k in 2..=n {
+            let (w, r) = factory.create(&env, roles.actual(k), format!("C[{k}]"), 0u64);
+            asker_w.push(w);
+            asker_r.push(r);
+        }
+
+        let shared =
+            SharedPorts { r1: r1_r, witness: witness_r, replies: replies_r, askers: asker_r };
+
+        for j in 1..=n {
+            let task = HelpTask2 {
+                env: env.clone(),
+                j,
+                shared: shared.clone(),
+                witness_w: (j >= 2).then(|| witness_w[j - 2].clone()),
+                replies_w: replies_w[j - 1].clone(),
+                tracker: AskerTracker::new(n - 1),
+            };
+            system.add_help_task(roles.actual(j), Box::new(task));
+        }
+
+        let mut endpoints = Vec::with_capacity(n);
+        for j in 1..=n {
+            endpoints.push(Some(ProcessPorts {
+                r1_w: (j == 1).then(|| r1_w.clone()),
+                witness_w: (j >= 2).then(|| witness_w[j - 2].clone()),
+                replies_w: replies_w[j - 1].clone(),
+                asker_w: (j >= 2).then(|| asker_w[j - 2].clone()),
+            }));
+        }
+
+        AuthenticatedRegister {
+            env: env.clone(),
+            roles,
+            v0,
+            shared,
+            endpoints: Mutex::new(endpoints),
+            log: HistoryLog::new(env.clock()),
+        }
+    }
+
+    /// The process playing the writer role.
+    #[must_use]
+    pub fn writer_pid(&self) -> ProcessId {
+        self.roles.writer()
+    }
+
+    /// The initial value `v0`.
+    pub fn initial_value(&self) -> &V {
+        &self.v0
+    }
+
+    /// The recorded operation history.
+    #[must_use]
+    pub fn history(&self) -> HistoryLog<AuthInv<V>, AuthResp<V>> {
+        self.log.clone()
+    }
+
+    /// Read-only views of the shared registers.
+    #[must_use]
+    pub fn shared(&self) -> SharedPorts<V> {
+        self.shared.clone()
+    }
+
+    fn take_ports(&self, role: usize) -> ProcessPorts<V> {
+        self.endpoints.lock()[role - 1]
+            .take()
+            .unwrap_or_else(|| panic!("ports of role {role} already taken"))
+    }
+
+    /// The unique writer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if taken twice or if the writer is declared Byzantine.
+    #[must_use]
+    pub fn writer(&self) -> AuthenticatedWriter<V> {
+        let pid = self.roles.writer();
+        assert!(!self.env.is_faulty(pid), "{pid} is Byzantine; take attack_ports({pid}) instead");
+        let ports = self.take_ports(1);
+        AuthenticatedWriter {
+            env: self.env.clone(),
+            pid,
+            r1_w: ports.r1_w.expect("writer ports"),
+            seq: 0,
+            log: self.log.clone(),
+        }
+    }
+
+    /// The reader handle for any process other than the writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is the writer, taken twice, or declared Byzantine.
+    #[must_use]
+    pub fn reader(&self, pid: ProcessId) -> AuthenticatedReader<V> {
+        let role = self.roles.role_of(pid);
+        assert!(role != 1, "{pid} is the writer, not a reader");
+        assert!(!self.env.is_faulty(pid), "{pid} is Byzantine; take attack_ports({pid}) instead");
+        let ports = self.take_ports(role);
+        AuthenticatedReader {
+            env: self.env.clone(),
+            pid,
+            v0: self.v0.clone(),
+            ck_w: ports.asker_w.expect("reader ports"),
+            reply_column: self.shared.reply_column(role),
+            r1: self.shared.r1.clone(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// The raw write ports of a declared-Byzantine process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is correct or already taken.
+    #[must_use]
+    pub fn attack_ports(&self, pid: ProcessId) -> AttackPorts<V> {
+        assert!(
+            self.env.is_faulty(pid),
+            "{pid} is correct; only declared-Byzantine processes get attack ports"
+        );
+        let ports = self.take_ports(self.roles.role_of(pid));
+        AttackPorts {
+            pid,
+            r1: ports.r1_w,
+            witness: ports.witness_w,
+            replies: ports.replies_w,
+            asker: ports.asker_w,
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<V: Value> std::fmt::Debug for AuthenticatedRegister<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuthenticatedRegister")
+            .field("n", &self.env.n())
+            .field("f", &self.env.f())
+            .field("v0", &self.v0)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer handle
+// ---------------------------------------------------------------------------
+
+/// The writer handle: `Write` only — every write is auto-"signed".
+pub struct AuthenticatedWriter<V: Ord> {
+    env: Env,
+    pid: ProcessId,
+    r1_w: WritePort<WriterRecord<V>>,
+    /// The local counter `ℓ` (line 1).
+    seq: u64,
+    log: HistoryLog<AuthInv<V>, AuthResp<V>>,
+}
+
+impl<V: Value> AuthenticatedWriter<V> {
+    /// `Write(v)` — Alg. 2 lines 1–3.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn write(&mut self, v: V) -> Result<()> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, AuthInv::Write(v.clone()));
+        self.seq += 1; // line 1: ℓ <- ℓ + 1
+        let seq = self.seq;
+        self.env.run_as(self.pid, || {
+            // line 2: R1 <- R1 ∪ {⟨ℓ, v⟩} (owner RMW; one step).
+            self.r1_w.update(|rec| match rec {
+                WriterRecord::Tuples(set) => {
+                    set.insert((seq, v.clone()));
+                }
+                WriterRecord::Garbage(_) => {
+                    // Unreachable for a correct writer; restore well-formedness.
+                    let mut set = BTreeSet::new();
+                    set.insert((seq, v.clone()));
+                    *rec = WriterRecord::Tuples(set);
+                }
+            });
+        });
+        self.log.respond(op, self.pid, AuthResp::Done); // line 3
+        Ok(())
+    }
+}
+
+impl<V: Value> std::fmt::Debug for AuthenticatedWriter<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AuthenticatedWriter({}, ℓ = {})", self.pid, self.seq)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader handle
+// ---------------------------------------------------------------------------
+
+/// A reader handle: `Read` and `Verify`.
+pub struct AuthenticatedReader<V: Ord> {
+    env: Env,
+    pid: ProcessId,
+    v0: V,
+    ck_w: WritePort<u64>,
+    reply_column: Vec<ReadPort<Reply<V>>>,
+    r1: ReadPort<WriterRecord<V>>,
+    log: HistoryLog<AuthInv<V>, AuthResp<V>>,
+}
+
+impl<V: Value> AuthenticatedReader<V> {
+    /// The reader's process id.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// `Read()` — Alg. 2 lines 4–9.
+    ///
+    /// Reads the freshest tuple of `R1` and *verifies* it before returning;
+    /// on verification failure (Byzantine writer) returns `v0` (§7.1).
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn read(&mut self) -> Result<V> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, AuthInv::Read);
+        let value = self.env.run_as(self.pid, || -> Result<V> {
+            let r = self.r1.read(); // line 4: r <- R1
+            // line 5: "if r is a set of tuples of the form ⟨ℓ, v⟩".
+            if let Some((_, v)) = r.freshest() {
+                // line 6 picked the max tuple; line 7: verified <- Verify(v).
+                // This is the *procedure*, not a recorded operation
+                // (cf. the "dual-use" footnote 7).
+                let verified = verify_quorum(&self.env, &self.ck_w, &self.reply_column, v)?;
+                if verified {
+                    return Ok(v.clone()); // line 8
+                }
+            }
+            Ok(self.v0.clone()) // line 9
+        })?;
+        self.log.respond(op, self.pid, AuthResp::ReadValue(value.clone()));
+        Ok(value)
+    }
+
+    /// `Verify(v)` — Alg. 2 lines 10–23 (identical to Algorithm 1's).
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn verify(&mut self, v: &V) -> Result<bool> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, AuthInv::Verify(v.clone()));
+        let outcome = self
+            .env
+            .run_as(self.pid, || verify_quorum(&self.env, &self.ck_w, &self.reply_column, v))?;
+        self.log.respond(op, self.pid, AuthResp::VerifyResult(outcome));
+        Ok(outcome)
+    }
+}
+
+impl<V: Value> std::fmt::Debug for AuthenticatedReader<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AuthenticatedReader({})", self.pid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Help task (lines 24-38)
+// ---------------------------------------------------------------------------
+
+struct HelpTask2<V: Value> {
+    env: Env,
+    /// 1-based process index of the helper.
+    j: usize,
+    shared: SharedPorts<V>,
+    /// `R_j` write port — `None` for the writer (`j = 1` has no witness reg).
+    witness_w: Option<WritePort<WitnessSet<V>>>,
+    replies_w: Vec<WritePort<Reply<V>>>,
+    tracker: AskerTracker,
+}
+
+impl<V: Value> byzreg_runtime::HelpTask for HelpTask2<V> {
+    fn tick(&mut self) {
+        // Lines 26-27: sample C_k, compute askers.
+        let (ck, askers) = self.tracker.poll(&self.shared.askers);
+        if askers.is_empty() {
+            return; // line 28
+        }
+        // Lines 29-30: r <- R1; r1 <- {v | ⟨−, v⟩ ∈ r}.
+        let r1: BTreeSet<V> = self.shared.r1.read().values();
+
+        let r_j: WitnessSet<V> = if let Some(witness_w) = &self.witness_w {
+            // Lines 31-34 (j ≠ 1): read every reader's R_i, then witness any
+            // value in r1 or with >= f+1 witnesses (counting r1 as one set,
+            // cf. "1 <= i <= n" in line 33).
+            let mut all_sets: Vec<WitnessSet<V>> = Vec::with_capacity(self.env.n());
+            all_sets.push(r1.clone());
+            for port in &self.shared.witness {
+                all_sets.push(port.read()); // line 32
+            }
+            let mut candidates: BTreeSet<&V> = BTreeSet::new();
+            for set in &all_sets {
+                candidates.extend(set.iter());
+            }
+            let f = self.env.f();
+            for v in candidates {
+                let in_r1 = r1.contains(v);
+                let count = all_sets.iter().filter(|s| s.contains(v)).count();
+                if in_r1 || count >= f + 1 {
+                    // line 34: R_j <- R_j ∪ {v}.
+                    witness_w.update(|set| {
+                        set.insert(v.clone());
+                    });
+                }
+            }
+            witness_w.read() // line 35: r_j <- R_j
+        } else {
+            // j = 1: the writer replies with the values of R1 itself
+            // (footnote 9; Lemma 103 Case 2 relies on this).
+            r1
+        };
+
+        // Lines 36-38: help each asker.
+        for k in askers {
+            self.replies_w[k].write((r_j.clone(), ck[k]));
+            self.tracker.acknowledge(k, ck[k]);
+        }
+        debug_assert!(self.j >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_runtime::{Scheduling, System};
+
+    fn sys(n: usize, seed: u64) -> System {
+        System::builder(n).scheduling(Scheduling::Chaotic(seed)).build()
+    }
+
+    #[test]
+    fn writes_are_atomically_signed() {
+        let system = sys(4, 11);
+        let reg = AuthenticatedRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        assert!(!r.verify(&5).unwrap());
+        w.write(5).unwrap();
+        assert!(r.verify(&5).unwrap(), "no separate Sign needed");
+        assert_eq!(r.read().unwrap(), 5);
+        system.shutdown();
+    }
+
+    #[test]
+    fn v0_is_always_verified() {
+        let system = sys(4, 12);
+        let reg = AuthenticatedRegister::install(&system, 99u32);
+        let mut r = reg.reader(ProcessId::new(3));
+        assert!(r.verify(&99).unwrap());
+        assert_eq!(r.read().unwrap(), 99);
+        system.shutdown();
+    }
+
+    #[test]
+    fn read_returns_freshest_write() {
+        let system = sys(4, 13);
+        let reg = AuthenticatedRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        for v in [3u32, 9, 4] {
+            w.write(v).unwrap();
+        }
+        assert_eq!(r.read().unwrap(), 4, "highest timestamp wins, not highest value");
+        // All written values stay verifiable.
+        assert!(r.verify(&3).unwrap());
+        assert!(r.verify(&9).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn garbage_r1_makes_reads_fall_back_to_v0() {
+        // A Byzantine writer stores malformed content; correct readers must
+        // return v0 (Alg. 2 lines 5/9).
+        let system = System::builder(4).byzantine(ProcessId::new(1)).build();
+        let reg = AuthenticatedRegister::install(&system, 7u32);
+        let ports = reg.attack_ports(ProcessId::new(1));
+        ports.r1.as_ref().unwrap().write(WriterRecord::Garbage(0xDEAD));
+        let mut r = reg.reader(ProcessId::new(2));
+        assert_eq!(r.read().unwrap(), 7);
+        system.shutdown();
+    }
+
+    #[test]
+    fn erased_r1_read_returns_v0_not_stale_value() {
+        // Byzantine writer "writes" v by inserting a tuple, readers verify it;
+        // then it erases R1 entirely. Reads fall back to v0; Verify(v)
+        // keeps returning true (relay) because witnesses persist.
+        let system = System::builder(4).byzantine(ProcessId::new(1)).build();
+        let reg = AuthenticatedRegister::install(&system, 0u32);
+        let ports = reg.attack_ports(ProcessId::new(1));
+        let mut tuples = BTreeSet::new();
+        tuples.insert((1u64, 5u32));
+        ports.r1.as_ref().unwrap().write(WriterRecord::Tuples(tuples));
+        let mut r2 = reg.reader(ProcessId::new(2));
+        assert_eq!(r2.read().unwrap(), 5);
+        assert!(r2.verify(&5).unwrap());
+        // Erase.
+        ports.r1.as_ref().unwrap().write(WriterRecord::Tuples(BTreeSet::new()));
+        assert_eq!(r2.read().unwrap(), 0, "erased R1 -> v0");
+        // But the "signature" cannot be denied (Obs. 18).
+        assert!(r2.verify(&5).unwrap(), "you can lie but not deny");
+        let mut r3 = reg.reader(ProcessId::new(3));
+        assert!(r3.verify(&5).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn lockstep_terminates() {
+        let system = System::builder(4).scheduling(Scheduling::Lockstep(99)).build();
+        let reg = AuthenticatedRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(4));
+        w.write(8).unwrap();
+        assert_eq!(r.read().unwrap(), 8);
+        assert!(r.verify(&8).unwrap());
+        assert!(!r.verify(&1).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn history_records_reads_not_inner_verifies() {
+        let system = sys(4, 14);
+        let reg = AuthenticatedRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(1).unwrap();
+        let _ = r.read().unwrap();
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        // Write + Read only: the Read's inner Verify is a procedure call,
+        // not an operation (footnote 7).
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(ops[1].invocation, AuthInv::Read));
+    }
+
+    #[test]
+    fn works_at_n_7() {
+        let system = sys(7, 15);
+        let reg = AuthenticatedRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        w.write(3).unwrap();
+        for k in 2..=7 {
+            let mut r = reg.reader(ProcessId::new(k));
+            assert_eq!(r.read().unwrap(), 3);
+            assert!(r.verify(&3).unwrap());
+        }
+        system.shutdown();
+    }
+
+    #[test]
+    fn writer_record_helpers() {
+        let mut set = BTreeSet::new();
+        set.insert((1u64, 5u32));
+        set.insert((2u64, 3u32));
+        let rec = WriterRecord::Tuples(set);
+        assert_eq!(rec.freshest(), Some(&(2, 3)));
+        assert_eq!(rec.values().len(), 2);
+        let garbage: WriterRecord<u32> = WriterRecord::Garbage(1);
+        assert_eq!(garbage.freshest(), None);
+        assert!(garbage.values().is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! The `set0`/`set1` quorum-voting loop shared by the `Verify(−)` procedures
+//! of Algorithm 1 (verifiable register) and Algorithm 2 (authenticated
+//! register).
+//!
+//! §5.1 explains the mechanism: a reader proceeds in rounds; in each round it
+//! bumps its asker register `C_k` and waits for *one* fresh reply from any
+//! process outside `set0 ∪ set1`. A "yes" reply (the value is in the helper's
+//! witness set) moves the helper into `set1` **and resets `set0`**, giving
+//! "no"-voters the opportunity to re-check; a "no" reply adds the helper to
+//! `set0`. `|set1| ≥ n − f` decides `true`; `|set0| > f` decides `false`.
+//! `set1` is non-decreasing, which is what makes the relay property stick.
+
+use std::collections::BTreeSet;
+
+use byzreg_runtime::{Env, ReadPort, Result, Value, WritePort};
+
+/// A helper's reply register content: the set of values it currently
+/// witnesses, tagged with the asker round it answers (`⟨r_j, c_j⟩`).
+pub type Reply<V> = (BTreeSet<V>, u64);
+
+/// Runs the `Verify(v)` procedure of Algorithms 1 and 2 (lines 11–24 /
+/// 10–23) for the reader owning `ck`.
+///
+/// `replies` is the reader's column of SWSR registers `R_{j,k}`, one per
+/// process `p_j` (including the writer and the reader itself).
+///
+/// # Errors
+///
+/// Returns [`byzreg_runtime::Error::Shutdown`] if the system shuts down
+/// mid-operation.
+pub fn verify_quorum<V: Value>(
+    env: &Env,
+    ck: &WritePort<u64>,
+    replies: &[ReadPort<Reply<V>>],
+    v: &V,
+) -> Result<bool> {
+    let n = env.n();
+    let f = env.f();
+    debug_assert_eq!(replies.len(), n);
+    let mut set1 = vec![false; n];
+    let mut set0 = vec![false; n];
+    let mut n1 = 0usize;
+    let mut n0 = 0usize;
+
+    // Alg. 1 line 12: while true (each iteration is a "round").
+    loop {
+        env.check_running()?;
+        // Line 13: Ck <- Ck + 1 (owner increment; see register::update docs).
+        let my_ck = ck.update(|c| {
+            *c += 1;
+            *c
+        });
+        // Lines 14-17: repeat reading R_{j,k} of every p_j not in
+        // set1 ∪ set0 until one of them carries a timestamp >= Ck.
+        let (j, r_j) = 'fresh: loop {
+            env.check_running()?;
+            for (j, port) in replies.iter().enumerate() {
+                if set1[j] || set0[j] {
+                    continue;
+                }
+                let (r_j, c_j) = port.read();
+                if c_j >= my_ck {
+                    break 'fresh (j, r_j);
+                }
+            }
+        };
+        if r_j.contains(v) {
+            // Lines 18-20: set1 <- set1 ∪ {pj}; set0 <- ∅.
+            set1[j] = true;
+            n1 += 1;
+            set0 = vec![false; n];
+            n0 = 0;
+        } else {
+            // Lines 21-22: set0 <- set0 ∪ {pj}.
+            set0[j] = true;
+            n0 += 1;
+        }
+        // Lines 23-24.
+        if n1 >= n - f {
+            return Ok(true);
+        }
+        if n0 > f {
+            return Ok(false);
+        }
+    }
+}
+
+/// Tracks the asker/`prev_ck` handshake of the `Help()` procedures
+/// (Alg. 1 lines 25–28/36, Alg. 2 lines 24–27/38, Alg. 3 lines 23/31–32/40).
+#[derive(Debug)]
+pub struct AskerTracker {
+    prev_ck: Vec<u64>,
+}
+
+impl AskerTracker {
+    /// Creates a tracker for `readers` readers, with every `prev_ck = 0`.
+    #[must_use]
+    pub fn new(readers: usize) -> Self {
+        AskerTracker { prev_ck: vec![0; readers] }
+    }
+
+    /// Reads every `C_k` and returns `(ck, askers)`: the sampled counters and
+    /// the (0-based) reader indices whose counter increased since the last
+    /// acknowledged round.
+    pub fn poll(&self, c: &[ReadPort<u64>]) -> (Vec<u64>, Vec<usize>) {
+        let ck: Vec<u64> = c.iter().map(ReadPort::read).collect();
+        let askers = ck
+            .iter()
+            .enumerate()
+            .filter(|(k, v)| **v > self.prev_ck[*k])
+            .map(|(k, _)| k)
+            .collect();
+        (ck, askers)
+    }
+
+    /// Acknowledges that reader `k` was helped at round `ck` (line 36/38/40:
+    /// `prev_ck <- ck`).
+    pub fn acknowledge(&mut self, k: usize, ck: u64) {
+        self.prev_ck[k] = ck;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_runtime::{register, ProcessId, System};
+
+    #[test]
+    fn asker_tracker_detects_increases_only() {
+        let sys = System::builder(4).build();
+        let env = sys.env();
+        let mut ports = Vec::new();
+        let mut writers = Vec::new();
+        for k in 2..=4 {
+            let (w, r) = register::swmr(env.gate(), ProcessId::new(k), format!("C{k}"), 0u64);
+            writers.push(w);
+            ports.push(r);
+        }
+        let mut t = AskerTracker::new(3);
+        let (ck, askers) = t.poll(&ports);
+        assert!(askers.is_empty());
+        assert_eq!(ck, vec![0, 0, 0]);
+
+        writers[1].write(3);
+        let (ck, askers) = t.poll(&ports);
+        assert_eq!(askers, vec![1]);
+        t.acknowledge(1, ck[1]);
+        let (_, askers) = t.poll(&ports);
+        assert!(askers.is_empty(), "acknowledged rounds are not re-reported");
+
+        writers[1].write(4);
+        writers[0].write(1);
+        let (_, askers) = t.poll(&ports);
+        assert_eq!(askers, vec![0, 1]);
+    }
+
+    #[test]
+    fn verify_quorum_true_with_full_witness_sets() {
+        // n = 4, f = 1: all four reply registers already carry the value with
+        // a huge timestamp, so the loop should return true without helpers.
+        let sys = System::builder(4).build();
+        let env = sys.env().clone();
+        let (ck_w, _) = register::swmr(env.gate(), ProcessId::new(2), "C2", 0u64);
+        let mut cols = Vec::new();
+        for j in 1..=4 {
+            let mut set = BTreeSet::new();
+            set.insert(7u32);
+            let (_w, r) =
+                register::swmr(env.gate(), ProcessId::new(j), format!("R{j}2"), (set, u64::MAX));
+            cols.push(r);
+        }
+        let got = verify_quorum(&env, &ck_w, &cols, &7).unwrap();
+        assert!(got);
+    }
+
+    #[test]
+    fn verify_quorum_false_when_enough_fresh_noes() {
+        let sys = System::builder(4).build();
+        let env = sys.env().clone();
+        let (ck_w, _) = register::swmr(env.gate(), ProcessId::new(2), "C2", 0u64);
+        let mut cols = Vec::new();
+        for j in 1..=4 {
+            let (_w, r) = register::swmr(
+                env.gate(),
+                ProcessId::new(j),
+                format!("R{j}2"),
+                (BTreeSet::<u32>::new(), u64::MAX),
+            );
+            cols.push(r);
+        }
+        let got = verify_quorum(&env, &ck_w, &cols, &7).unwrap();
+        assert!(!got, "f + 1 = 2 empty replies suffice for false");
+    }
+
+    #[test]
+    fn verify_quorum_aborts_on_shutdown() {
+        let sys = System::builder(4).build();
+        let env = sys.env().clone();
+        let (ck_w, _) = register::swmr(env.gate(), ProcessId::new(2), "C2", 0u64);
+        let mut cols = Vec::new();
+        for j in 1..=4 {
+            // Stale timestamps: nobody ever replies.
+            let (_w, r) = register::swmr(
+                env.gate(),
+                ProcessId::new(j),
+                format!("R{j}2"),
+                (BTreeSet::<u32>::new(), 0u64),
+            );
+            cols.push(r);
+        }
+        sys.shutdown();
+        let got = verify_quorum(&env, &ck_w, &cols, &7);
+        assert!(got.is_err());
+    }
+}

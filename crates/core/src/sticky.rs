@@ -1,0 +1,739 @@
+//! Algorithm 3: a SWMR **sticky register** from plain SWMR registers,
+//! without signatures, for `n > 3f`.
+//!
+//! Once a value is written into a sticky register, the register never
+//! changes again — even if the writer is Byzantine (Definition 21,
+//! Observation 24). Line numbers in comments refer to Algorithm 3.
+//!
+//! §9.1 explains the two mechanisms layered on top of the witness scheme of
+//! Algorithms 1–2:
+//!
+//! * **Echo stage**: a process *echoes* (into `E_j`) only the **first**
+//!   non-`⊥` value it sees in the writer's `E_1`, and becomes a *witness*
+//!   (`R_j ← v`) only after seeing `n − f` echoes of `v` — this stricter
+//!   policy prevents correct processes from witnessing different values.
+//! * **Write waits**: `Write(v)` returns only after `n − f` witnesses exist,
+//!   otherwise a subsequent `Read` could still return `⊥`.
+//!
+//! # Examples
+//!
+//! ```
+//! use byzreg_core::sticky::StickyRegister;
+//! use byzreg_runtime::{ProcessId, System};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = System::builder(4).build();
+//! let reg = StickyRegister::install(&system);
+//! let mut writer = reg.writer();
+//! let mut reader = reg.reader(ProcessId::new(2));
+//!
+//! writer.write(7u64)?;
+//! assert_eq!(reader.read()?, Some(7));
+//! writer.write(9)?; // too late: the register is stuck on 7
+//! assert_eq!(reader.read()?, Some(7));
+//! system.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use parking_lot::Mutex;
+
+use byzreg_runtime::{
+    Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, Roles, System,
+    Value, WritePort,
+};
+use byzreg_spec::registers::{StickyInv, StickyResp};
+
+use crate::quorum::AskerTracker;
+
+/// `⊥`-able register content (`None` = `⊥`).
+pub type Slot<V> = Option<V>;
+
+/// A helper's reply `⟨u_j, c_j⟩`: the single value it witnesses (or `⊥`)
+/// tagged with the asker round it answers.
+pub type Reply<V> = (Slot<V>, u64);
+
+/// Read-only views of every shared register of one sticky-register instance.
+pub struct SharedPorts<V> {
+    /// `E_i` — echo registers, one per process (0-based).
+    pub echo: Vec<ReadPort<Slot<V>>>,
+    /// `R_i` — witness registers, one per process (0-based).
+    pub witness: Vec<ReadPort<Slot<V>>>,
+    /// `R_{j,k}` reply registers: `replies[j][k]`, `k` 0-based over readers.
+    pub replies: Vec<Vec<ReadPort<Reply<V>>>>,
+    /// `C_k` for readers (index `pid - 2`).
+    pub askers: Vec<ReadPort<u64>>,
+}
+
+impl<V> Clone for SharedPorts<V> {
+    fn clone(&self) -> Self {
+        SharedPorts {
+            echo: self.echo.clone(),
+            witness: self.witness.clone(),
+            replies: self.replies.clone(),
+            askers: self.askers.clone(),
+        }
+    }
+}
+
+impl<V: Value> SharedPorts<V> {
+    fn reply_column(&self, reader_role: usize) -> Vec<ReadPort<Reply<V>>> {
+        let k = reader_role - 2;
+        self.replies.iter().map(|row| row[k].clone()).collect()
+    }
+}
+
+/// Write ports owned by one process, handed to a Byzantine adversary.
+pub struct AttackPorts<V> {
+    /// The faulty process.
+    pub pid: ProcessId,
+    /// `E_pid` — the echo register.
+    pub echo: WritePort<Slot<V>>,
+    /// `R_pid` — the witness register.
+    pub witness: WritePort<Slot<V>>,
+    /// `R_{pid,k}` for every reader `k`.
+    pub replies: Vec<WritePort<Reply<V>>>,
+    /// `C_pid` — only for readers.
+    pub asker: Option<WritePort<u64>>,
+    /// Read access to everything.
+    pub shared: SharedPorts<V>,
+}
+
+struct ProcessPorts<V> {
+    echo_w: WritePort<Slot<V>>,
+    witness_w: WritePort<Slot<V>>,
+    replies_w: Vec<WritePort<Reply<V>>>,
+    asker_w: Option<WritePort<u64>>,
+}
+
+/// One installed sticky-register instance (Algorithm 3).
+pub struct StickyRegister<V> {
+    env: Env,
+    roles: Roles,
+    shared: SharedPorts<V>,
+    endpoints: Mutex<Vec<Option<ProcessPorts<V>>>>,
+    log: HistoryLog<StickyInv<V>, StickyResp<V>>,
+}
+
+impl<V: Value> StickyRegister<V> {
+    /// Installs the register (initial value `⊥`) and attaches the `Help()`
+    /// task of every correct process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f` (Theorem 31).
+    pub fn install(system: &System) -> Self {
+        Self::install_with(system, &LocalFactory)
+    }
+
+    /// Installs the register with `writer` playing the writer role (used by
+    /// broadcast objects, which keep one sticky register per sender).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    pub fn install_for_writer(system: &System, writer: ProcessId) -> Self {
+        let roles = Roles::with_writer(system.env().n(), writer);
+        Self::install_impl(system, &LocalFactory, roles)
+    }
+
+    /// Like [`StickyRegister::install`], but sourcing base registers from
+    /// `factory` (e.g. a message-passing emulation, experiment E6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    pub fn install_with<F: RegisterFactory>(system: &System, factory: &F) -> Self {
+        let roles = Roles::identity(system.env().n());
+        Self::install_impl(system, factory, roles)
+    }
+
+    fn install_impl<F: RegisterFactory>(system: &System, factory: &F, roles: Roles) -> Self {
+        let env = system.env().clone();
+        env.require_n_gt_3f();
+        let n = env.n();
+
+        let mut echo_w = Vec::with_capacity(n);
+        let mut echo_r = Vec::with_capacity(n);
+        let mut witness_w = Vec::with_capacity(n);
+        let mut witness_r = Vec::with_capacity(n);
+        for i in 1..=n {
+            let owner = roles.actual(i);
+            let (w, r) = factory.create(&env, owner, format!("E[{i}]"), Slot::<V>::None);
+            echo_w.push(w);
+            echo_r.push(r);
+            let (w, r) = factory.create(&env, owner, format!("R[{i}]"), Slot::<V>::None);
+            witness_w.push(w);
+            witness_r.push(r);
+        }
+
+        let mut replies_w: Vec<Vec<WritePort<Reply<V>>>> = Vec::with_capacity(n);
+        let mut replies_r: Vec<Vec<ReadPort<Reply<V>>>> = Vec::with_capacity(n);
+        for j in 1..=n {
+            let mut row_w = Vec::with_capacity(n - 1);
+            let mut row_r = Vec::with_capacity(n - 1);
+            for k in 2..=n {
+                let (w, r) = factory.create(
+                    &env,
+                    roles.actual(j),
+                    format!("R[{j},{k}]"),
+                    (Slot::<V>::None, 0u64),
+                );
+                row_w.push(w);
+                row_r.push(r);
+            }
+            replies_w.push(row_w);
+            replies_r.push(row_r);
+        }
+
+        let mut asker_w = Vec::with_capacity(n - 1);
+        let mut asker_r = Vec::with_capacity(n - 1);
+        for k in 2..=n {
+            let (w, r) = factory.create(&env, roles.actual(k), format!("C[{k}]"), 0u64);
+            asker_w.push(w);
+            asker_r.push(r);
+        }
+
+        let shared =
+            SharedPorts { echo: echo_r, witness: witness_r, replies: replies_r, askers: asker_r };
+
+        for j in 1..=n {
+            let task = HelpTask3 {
+                env: env.clone(),
+                shared: shared.clone(),
+                echo_w: echo_w[j - 1].clone(),
+                witness_w: witness_w[j - 1].clone(),
+                replies_w: replies_w[j - 1].clone(),
+                tracker: AskerTracker::new(n - 1),
+            };
+            system.add_help_task(roles.actual(j), Box::new(task));
+        }
+
+        let mut endpoints = Vec::with_capacity(n);
+        for j in 1..=n {
+            endpoints.push(Some(ProcessPorts {
+                echo_w: echo_w[j - 1].clone(),
+                witness_w: witness_w[j - 1].clone(),
+                replies_w: replies_w[j - 1].clone(),
+                asker_w: (j >= 2).then(|| asker_w[j - 2].clone()),
+            }));
+        }
+
+        StickyRegister {
+            env: env.clone(),
+            roles,
+            shared,
+            endpoints: Mutex::new(endpoints),
+            log: HistoryLog::new(env.clock()),
+        }
+    }
+
+    /// The process playing the writer role.
+    #[must_use]
+    pub fn writer_pid(&self) -> ProcessId {
+        self.roles.writer()
+    }
+
+    /// The recorded operation history.
+    #[must_use]
+    pub fn history(&self) -> HistoryLog<StickyInv<V>, StickyResp<V>> {
+        self.log.clone()
+    }
+
+    /// Read-only views of the shared registers.
+    #[must_use]
+    pub fn shared(&self) -> SharedPorts<V> {
+        self.shared.clone()
+    }
+
+    fn take_ports(&self, role: usize) -> ProcessPorts<V> {
+        self.endpoints.lock()[role - 1]
+            .take()
+            .unwrap_or_else(|| panic!("ports of role {role} already taken"))
+    }
+
+    /// The unique writer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if taken twice or if the writer is declared Byzantine.
+    #[must_use]
+    pub fn writer(&self) -> StickyWriter<V> {
+        let pid = self.roles.writer();
+        assert!(!self.env.is_faulty(pid), "{pid} is Byzantine; take attack_ports({pid}) instead");
+        let ports = self.take_ports(1);
+        StickyWriter {
+            env: self.env.clone(),
+            pid,
+            e1_w: ports.echo_w,
+            witness: self.shared.witness.clone(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// The reader handle for any process other than the writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is the writer, taken twice, or declared Byzantine.
+    #[must_use]
+    pub fn reader(&self, pid: ProcessId) -> StickyReader<V> {
+        let role = self.roles.role_of(pid);
+        assert!(role != 1, "{pid} is the writer, not a reader");
+        assert!(!self.env.is_faulty(pid), "{pid} is Byzantine; take attack_ports({pid}) instead");
+        let ports = self.take_ports(role);
+        StickyReader {
+            env: self.env.clone(),
+            pid,
+            ck_w: ports.asker_w.expect("reader ports"),
+            reply_column: self.shared.reply_column(role),
+            log: self.log.clone(),
+        }
+    }
+
+    /// The raw write ports of a declared-Byzantine process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is correct or already taken.
+    #[must_use]
+    pub fn attack_ports(&self, pid: ProcessId) -> AttackPorts<V> {
+        assert!(
+            self.env.is_faulty(pid),
+            "{pid} is correct; only declared-Byzantine processes get attack ports"
+        );
+        let ports = self.take_ports(self.roles.role_of(pid));
+        AttackPorts {
+            pid,
+            echo: ports.echo_w,
+            witness: ports.witness_w,
+            replies: ports.replies_w,
+            asker: ports.asker_w,
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<V: Value> std::fmt::Debug for StickyRegister<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StickyRegister")
+            .field("n", &self.env.n())
+            .field("f", &self.env.f())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer handle
+// ---------------------------------------------------------------------------
+
+/// The writer handle of a sticky register.
+pub struct StickyWriter<V> {
+    env: Env,
+    pid: ProcessId,
+    e1_w: WritePort<Slot<V>>,
+    witness: Vec<ReadPort<Slot<V>>>,
+    log: HistoryLog<StickyInv<V>, StickyResp<V>>,
+}
+
+impl<V: Value> StickyWriter<V> {
+    /// `Write(v)` — Alg. 3 lines 1–6.
+    ///
+    /// Returns only after `n − f` processes witness the value (§9.1: without
+    /// the wait, a `Read` after a completed `Write` could still return `⊥`).
+    /// If a value was already written, `Write` is a no-op returning `done`.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn write(&mut self, v: V) -> Result<()> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, StickyInv::Write(v.clone()));
+        let result = self.env.run_as(self.pid, || -> Result<()> {
+            // Line 1: if E1 ≠ ⊥ then return done. Line 2: E1 <- v.
+            // Owner RMW keeps lines 1-2 atomic w.r.t. p1's own Help thread
+            // (which may also write E1; see register::update docs).
+            let first = self.e1_w.update(|e| {
+                if e.is_none() {
+                    *e = Some(v.clone());
+                    true
+                } else {
+                    false
+                }
+            });
+            if !first {
+                return Ok(()); // line 1
+            }
+            // Lines 3-5: wait until n−f processes have R_i = v.
+            let need = self.env.n_minus_f();
+            loop {
+                self.env.check_running()?;
+                let count = self
+                    .witness
+                    .iter()
+                    .filter(|r| r.read().as_ref() == Some(&v))
+                    .count();
+                if count >= need {
+                    return Ok(()); // line 6
+                }
+            }
+        });
+        match result {
+            Ok(()) => {
+                self.log.respond(op, self.pid, StickyResp::Done);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// **Ablation** (§9.1): `Write(v)` *without* waiting for `n − f`
+    /// witnesses.
+    ///
+    /// The paper explains why the wait in lines 3–5 is necessary: *"without
+    /// this wait, a process may invoke a `Read` after a `Write(v)` completes
+    /// and get back `⊥` rather than `v`"* — the stricter witness policy may
+    /// delay acceptance of the value. This method exists so the ablation
+    /// experiment (`tests/ablation.rs`) can demonstrate exactly that
+    /// anomaly; it must never be used where Definition 21 semantics are
+    /// expected.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn write_without_witness_wait(&mut self, v: V) -> Result<()> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, StickyInv::Write(v.clone()));
+        self.env.run_as(self.pid, || {
+            self.e1_w.update(|e| {
+                if e.is_none() {
+                    *e = Some(v.clone());
+                }
+            });
+        });
+        // Lines 3-5 deliberately omitted.
+        self.log.respond(op, self.pid, StickyResp::Done);
+        Ok(())
+    }
+}
+
+impl<V: Value> std::fmt::Debug for StickyWriter<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StickyWriter({})", self.pid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader handle
+// ---------------------------------------------------------------------------
+
+/// A reader handle of a sticky register.
+pub struct StickyReader<V> {
+    env: Env,
+    pid: ProcessId,
+    ck_w: WritePort<u64>,
+    reply_column: Vec<ReadPort<Reply<V>>>,
+    log: HistoryLog<StickyInv<V>, StickyResp<V>>,
+}
+
+impl<V: Value> StickyReader<V> {
+    /// The reader's process id.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// `Read()` — Alg. 3 lines 7–22. Returns `None` for `⊥`.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn read(&mut self) -> Result<Slot<V>> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, StickyInv::Read);
+        let outcome = self.env.run_as(self.pid, || self.read_procedure())?;
+        self.log.respond(op, self.pid, StickyResp::ReadValue(outcome.clone()));
+        Ok(outcome)
+    }
+
+    fn read_procedure(&self) -> Result<Slot<V>> {
+        let n = self.env.n();
+        let f = self.env.f();
+        // Line 7: set⊥, setval <- ∅.
+        // setval[j] = Some(v) means ⟨v, pj⟩ ∈ setval; set_bot[j] mirrors set⊥.
+        let mut setval: Vec<Option<V>> = vec![None; n];
+        let mut set_bot = vec![false; n];
+        let mut n_bot = 0usize;
+        // Line 8: while true.
+        loop {
+            self.env.check_running()?;
+            // Line 9: Ck <- Ck + 1.
+            let my_ck = self.ck_w.update(|c| {
+                *c += 1;
+                *c
+            });
+            // Line 10: S = processes outside set⊥ and setval.
+            // Lines 11-14: repeat until a fresh reply arrives from S.
+            let (j, u_j) = 'fresh: loop {
+                self.env.check_running()?;
+                for j in 0..n {
+                    if set_bot[j] || setval[j].is_some() {
+                        continue;
+                    }
+                    let (u_j, c_j) = self.reply_column[j].read(); // line 13
+                    if c_j >= my_ck {
+                        break 'fresh (j, u_j); // line 14
+                    }
+                }
+            };
+            match u_j {
+                Some(v) => {
+                    // Lines 15-17: setval ∪= {⟨uj, pj⟩}; set⊥ <- ∅.
+                    setval[j] = Some(v);
+                    set_bot = vec![false; n];
+                    n_bot = 0;
+                }
+                None => {
+                    // Lines 18-19.
+                    set_bot[j] = true;
+                    n_bot += 1;
+                }
+            }
+            // Lines 20-21: a value witnessed by >= n−f processes wins.
+            let mut counts: std::collections::BTreeMap<&V, usize> = std::collections::BTreeMap::new();
+            for v in setval.iter().flatten() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            if let Some((v, _)) = counts.iter().find(|(_, c)| **c >= n - f) {
+                return Ok(Some((*v).clone()));
+            }
+            // Line 22.
+            if n_bot > f {
+                return Ok(None);
+            }
+        }
+    }
+}
+
+impl<V: Value> std::fmt::Debug for StickyReader<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StickyReader({})", self.pid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Help task (lines 23-40)
+// ---------------------------------------------------------------------------
+
+struct HelpTask3<V: Value> {
+    env: Env,
+    shared: SharedPorts<V>,
+    echo_w: WritePort<Slot<V>>,
+    witness_w: WritePort<Slot<V>>,
+    replies_w: Vec<WritePort<Reply<V>>>,
+    tracker: AskerTracker,
+}
+
+impl<V: Value> HelpTask3<V> {
+    /// Sets the witness register to `v` if it is still `⊥` (guarded; the
+    /// guard preserves the sequential-process semantics of `Rj = ⊥` checks).
+    fn witness_if_unset(&self, v: V) {
+        self.witness_w.update(|slot| {
+            if slot.is_none() {
+                *slot = Some(v);
+            }
+        });
+    }
+}
+
+impl<V: Value> byzreg_runtime::HelpTask for HelpTask3<V> {
+    fn tick(&mut self) {
+        let n = self.env.n();
+        let f = self.env.f();
+
+        // Lines 25-27: echo the first non-⊥ value seen in E1.
+        if self.echo_w.read().is_none() {
+            let e1 = self.shared.echo[0].read(); // line 26: ej <- E1
+            if e1.is_some() {
+                // Line 27, guarded: only the first echo sticks. The guard
+                // also prevents p1's help thread from clobbering p1's own
+                // Write (owner RMW; see register::update docs).
+                self.echo_w.update(|slot| {
+                    if slot.is_none() {
+                        *slot = e1;
+                    }
+                });
+            }
+        }
+
+        // Lines 28-30: become a witness of v after n−f echoes of v.
+        if self.witness_w.read().is_none() {
+            let echoes: Vec<Slot<V>> = self.shared.echo.iter().map(ReadPort::read).collect();
+            if let Some(v) = majority_value(&echoes, n - f) {
+                self.witness_if_unset(v);
+            }
+        }
+
+        // Lines 31-32: sample C_k, compute askers.
+        let (ck, askers) = self.tracker.poll(&self.shared.askers);
+        if askers.is_empty() {
+            return; // line 33
+        }
+
+        // Lines 34-36: with an asker waiting, also accept f+1 witnesses.
+        if self.witness_w.read().is_none() {
+            let witnesses: Vec<Slot<V>> =
+                self.shared.witness.iter().map(ReadPort::read).collect();
+            if let Some(v) = majority_value(&witnesses, f + 1) {
+                self.witness_if_unset(v);
+            }
+        }
+
+        // Line 37: rj <- Rj.
+        let r_j = self.witness_w.read();
+        // Lines 38-40.
+        for k in askers {
+            self.replies_w[k].write((r_j.clone(), ck[k]));
+            self.tracker.acknowledge(k, ck[k]);
+        }
+    }
+}
+
+/// Returns a value `v ≠ ⊥` held by at least `threshold` of the given slots.
+fn majority_value<V: Value>(slots: &[Slot<V>], threshold: usize) -> Option<V> {
+    let mut counts: std::collections::BTreeMap<&V, usize> = std::collections::BTreeMap::new();
+    for v in slots.iter().flatten() {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts.into_iter().find(|(_, c)| *c >= threshold).map(|(v, _)| v.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_runtime::{Scheduling, System};
+
+    fn sys(n: usize, seed: u64) -> System {
+        System::builder(n).scheduling(Scheduling::Chaotic(seed)).build()
+    }
+
+    #[test]
+    fn read_bottom_before_any_write() {
+        let system = sys(4, 21);
+        let reg = StickyRegister::<u32>::install(&system);
+        let mut r = reg.reader(ProcessId::new(2));
+        assert_eq!(r.read().unwrap(), None);
+        system.shutdown();
+    }
+
+    #[test]
+    fn write_then_read_returns_value() {
+        let system = sys(4, 22);
+        let reg = StickyRegister::install(&system);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(5u32).unwrap();
+        assert_eq!(r.read().unwrap(), Some(5));
+        system.shutdown();
+    }
+
+    #[test]
+    fn second_write_is_a_noop() {
+        let system = sys(4, 23);
+        let reg = StickyRegister::install(&system);
+        let mut w = reg.writer();
+        w.write(5u32).unwrap();
+        w.write(9).unwrap(); // returns done but changes nothing (line 1)
+        for k in 2..=4 {
+            let mut r = reg.reader(ProcessId::new(k));
+            assert_eq!(r.read().unwrap(), Some(5), "reader p{k}");
+        }
+        system.shutdown();
+    }
+
+    #[test]
+    fn completed_write_is_visible_to_all_readers() {
+        // §9.1: the n−f witness wait makes the written value immediately
+        // readable — never ⊥ after Write returns.
+        let system = sys(7, 24);
+        let reg = StickyRegister::install(&system);
+        let mut w = reg.writer();
+        w.write(3u32).unwrap();
+        for k in 2..=7 {
+            let mut r = reg.reader(ProcessId::new(k));
+            assert_eq!(r.read().unwrap(), Some(3));
+        }
+        system.shutdown();
+    }
+
+    #[test]
+    fn lockstep_terminates() {
+        let system = System::builder(4).scheduling(Scheduling::Lockstep(7)).build();
+        let reg = StickyRegister::install(&system);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(3));
+        assert_eq!(r.read().unwrap(), None);
+        w.write(1u32).unwrap();
+        assert_eq!(r.read().unwrap(), Some(1));
+        system.shutdown();
+    }
+
+    #[test]
+    fn byzantine_writer_cannot_make_readers_disagree() {
+        // The adversary writes different values into E1 over time and stuffs
+        // its reply registers; correct readers must never return two
+        // different non-⊥ values (Obs. 24 / Cor. 182).
+        let system = System::builder(4)
+            .scheduling(Scheduling::Chaotic(25))
+            .byzantine(ProcessId::new(1))
+            .build();
+        let reg = StickyRegister::install(&system);
+        let ports = reg.attack_ports(ProcessId::new(1));
+        let shared = ports.shared.clone();
+        let mut flip = 0u32;
+        system.spawn_byzantine(ProcessId::new(1), move || {
+            flip += 1;
+            ports.echo.write(Some(if flip % 2 == 0 { 111 } else { 222 }));
+            ports.witness.write(Some(if flip % 3 == 0 { 111 } else { 222 }));
+            for (k, rep) in ports.replies.iter().enumerate() {
+                let c = shared.askers[k].read();
+                rep.write((Some(if flip % 2 == 0 { 222 } else { 111 }), c));
+            }
+            flip < 10_000
+        });
+        let mut got = Vec::new();
+        for k in 2..=4 {
+            let mut r = reg.reader(ProcessId::new(k));
+            for _ in 0..3 {
+                if let Some(v) = r.read().unwrap() {
+                    got.push(v);
+                }
+            }
+        }
+        // All non-⊥ reads agree.
+        got.dedup();
+        assert!(got.len() <= 1, "readers observed disagreeing values: {got:?}");
+        system.shutdown();
+    }
+
+    #[test]
+    fn history_is_recorded() {
+        let system = sys(4, 26);
+        let reg = StickyRegister::install(&system);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(1u32).unwrap();
+        let _ = r.read().unwrap();
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn majority_value_thresholds() {
+        let slots = vec![Some(1u32), Some(1), None, Some(2)];
+        assert_eq!(majority_value(&slots, 2), Some(1));
+        assert_eq!(majority_value(&slots, 3), None);
+        assert_eq!(majority_value::<u32>(&[None, None], 1), None);
+    }
+}

@@ -1,0 +1,652 @@
+//! Algorithm 1: a SWMR **verifiable register** from plain SWMR registers,
+//! without signatures, for `n > 3f`.
+//!
+//! The register offers `Write`/`Read` (a normal SWMR register) plus
+//! `Sign(v)`/`Verify(v)` emulating unforgeable signatures (Definition 10).
+//! Line numbers in comments refer to Algorithm 1 in the paper.
+//!
+//! Shared registers (one instance per register object):
+//!
+//! * `R*` — the writer's value register (line 1/9),
+//! * `R_i` — each process's *witness set*: the values it vouches were
+//!   written-and-signed,
+//! * `R_{i,k}` — SWSR reply registers from helper `p_i` to asker `p_k`,
+//! * `C_k` — each reader's asker round counter.
+//!
+//! # Examples
+//!
+//! ```
+//! use byzreg_core::verifiable::VerifiableRegister;
+//! use byzreg_runtime::{ProcessId, System};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = System::builder(4).build();
+//! let reg = VerifiableRegister::install(&system, 0u64);
+//! let mut writer = reg.writer();
+//! let mut reader = reg.reader(ProcessId::new(2));
+//!
+//! writer.write(7)?;
+//! assert_eq!(reader.read()?, 7);
+//! assert!(!reader.verify(&7)?, "written but not signed yet");
+//! assert!(writer.sign(&7)?);
+//! assert!(reader.verify(&7)?);
+//! system.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeSet;
+
+use parking_lot::Mutex;
+
+use byzreg_runtime::{
+    Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, System, Value,
+    WritePort,
+};
+use byzreg_spec::registers::{VerInv, VerResp};
+
+use crate::quorum::{verify_quorum, AskerTracker, Reply};
+
+/// A process's witness set (the content of `R_i`).
+pub type WitnessSet<V> = BTreeSet<V>;
+
+/// Read-only views of every shared register of one verifiable-register
+/// instance. Everyone (including adversaries) may hold these.
+pub struct SharedPorts<V> {
+    /// `R*` — the writer's current value.
+    pub r_star: ReadPort<V>,
+    /// `R_i` for `i = 1..=n` (index 0-based).
+    pub witness: Vec<ReadPort<WitnessSet<V>>>,
+    /// `R_{j,k}`: `replies[j][k]` is helper `p_{j+1}`'s register for reader
+    /// `p_{k+2}`.
+    pub replies: Vec<Vec<ReadPort<Reply<V>>>>,
+    /// `C_k` for readers `p_2..=p_n` (index `pid - 2`).
+    pub askers: Vec<ReadPort<u64>>,
+}
+
+impl<V> Clone for SharedPorts<V> {
+    fn clone(&self) -> Self {
+        SharedPorts {
+            r_star: self.r_star.clone(),
+            witness: self.witness.clone(),
+            replies: self.replies.clone(),
+            askers: self.askers.clone(),
+        }
+    }
+}
+
+impl<V: Value> SharedPorts<V> {
+    /// The column of reply registers addressed to reader `pid`
+    /// (`R_{j,pid}` for all `j`), used by the verify loop.
+    fn reply_column(&self, pid: ProcessId) -> Vec<ReadPort<Reply<V>>> {
+        let k = pid.index() - 2;
+        self.replies.iter().map(|row| row[k].clone()).collect()
+    }
+}
+
+/// Write ports owned by one process, as handed to a Byzantine adversary.
+///
+/// A faulty process may write *anything* into registers it owns — and only
+/// into those (§1, Remark): there is no way to obtain another process's
+/// write ports from this type.
+pub struct AttackPorts<V> {
+    /// Which process these ports belong to.
+    pub pid: ProcessId,
+    /// `R*` — present only for the writer `p1`.
+    pub r_star: Option<WritePort<V>>,
+    /// `R_pid` — the process's witness set (for `p1` this is the "signed
+    /// values" register `R1`).
+    pub witness: WritePort<WitnessSet<V>>,
+    /// `R_{pid,k}` for every reader `k` (0-based reader index).
+    pub replies: Vec<WritePort<Reply<V>>>,
+    /// `C_pid` — present only for readers.
+    pub asker: Option<WritePort<u64>>,
+    /// Read access to every register of the instance.
+    pub shared: SharedPorts<V>,
+}
+
+struct ProcessPorts<V> {
+    witness_w: WritePort<WitnessSet<V>>,
+    replies_w: Vec<WritePort<Reply<V>>>,
+    asker_w: Option<WritePort<u64>>, // readers only
+    r_star_w: Option<WritePort<V>>,  // writer only
+}
+
+/// One installed verifiable-register instance (Algorithm 1).
+///
+/// Install with [`VerifiableRegister::install`], then obtain the unique
+/// [`writer`](VerifiableRegister::writer) handle and per-reader
+/// [`reader`](VerifiableRegister::reader) handles. Help tasks for all correct
+/// processes are attached to the system automatically.
+pub struct VerifiableRegister<V> {
+    env: Env,
+    v0: V,
+    shared: SharedPorts<V>,
+    endpoints: Mutex<Vec<Option<ProcessPorts<V>>>>,
+    log: HistoryLog<VerInv<V>, VerResp<V>>,
+}
+
+impl<V: Value> VerifiableRegister<V> {
+    /// Installs the register on `system` with initial value `v0`, wiring all
+    /// base registers and attaching the `Help()` task of every correct
+    /// process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f` (Theorem 31: impossible without signatures).
+    pub fn install(system: &System, v0: V) -> Self {
+        Self::install_with(system, v0, &LocalFactory)
+    }
+
+    /// Like [`VerifiableRegister::install`], but sourcing base registers
+    /// from `factory` — e.g. `byzreg_mp::MpFactory` to run Algorithm 1 over
+    /// a message-passing system (experiment E6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    pub fn install_with<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self {
+        let env = system.env().clone();
+        env.require_n_gt_3f();
+        let n = env.n();
+
+        // R*: SWMR register of the writer; initially v0.
+        let (r_star_w, r_star) = factory.create(&env, ProcessId::new(1), "R*".into(), v0.clone());
+
+        // R_i: SWMR witness-set registers; initially ∅.
+        let mut witness_w = Vec::with_capacity(n);
+        let mut witness_r = Vec::with_capacity(n);
+        for i in 1..=n {
+            let (w, r) =
+                factory.create(&env, ProcessId::new(i), format!("R[{i}]"), WitnessSet::<V>::new());
+            witness_w.push(w);
+            witness_r.push(r);
+        }
+
+        // R_{j,k}: SWSR reply registers; initially ⟨∅, 0⟩.
+        let mut replies_w: Vec<Vec<WritePort<Reply<V>>>> = Vec::with_capacity(n);
+        let mut replies_r: Vec<Vec<ReadPort<Reply<V>>>> = Vec::with_capacity(n);
+        for j in 1..=n {
+            let mut row_w = Vec::with_capacity(n - 1);
+            let mut row_r = Vec::with_capacity(n - 1);
+            for k in 2..=n {
+                let (w, r) = factory.create(
+                    &env,
+                    ProcessId::new(j),
+                    format!("R[{j},{k}]"),
+                    (WitnessSet::<V>::new(), 0u64),
+                );
+                row_w.push(w);
+                row_r.push(r);
+            }
+            replies_w.push(row_w);
+            replies_r.push(row_r);
+        }
+
+        // C_k: reader round counters; initially 0.
+        let mut asker_w = Vec::with_capacity(n - 1);
+        let mut asker_r = Vec::with_capacity(n - 1);
+        for k in 2..=n {
+            let (w, r) = factory.create(&env, ProcessId::new(k), format!("C[{k}]"), 0u64);
+            asker_w.push(w);
+            asker_r.push(r);
+        }
+
+        let shared = SharedPorts {
+            r_star,
+            witness: witness_r,
+            replies: replies_r,
+            askers: asker_r,
+        };
+
+        // Attach Help() to every correct process (System drops tasks for
+        // declared-Byzantine pids).
+        for j in 1..=n {
+            let task = HelpTask1 {
+                env: env.clone(),
+                shared: shared.clone(),
+                witness_w: witness_w[j - 1].clone(),
+                replies_w: replies_w[j - 1].clone(),
+                tracker: AskerTracker::new(n - 1),
+            };
+            system.add_help_task(ProcessId::new(j), Box::new(task));
+        }
+
+        // Per-process port bundles for handles / adversaries.
+        let mut endpoints = Vec::with_capacity(n);
+        for j in 1..=n {
+            endpoints.push(Some(ProcessPorts {
+                witness_w: witness_w[j - 1].clone(),
+                replies_w: replies_w[j - 1].clone(),
+                asker_w: (j >= 2).then(|| asker_w[j - 2].clone()),
+                r_star_w: (j == 1).then(|| r_star_w.clone()),
+            }));
+        }
+
+        VerifiableRegister {
+            env: env.clone(),
+            v0,
+            shared,
+            endpoints: Mutex::new(endpoints),
+            log: HistoryLog::new(env.clock()),
+        }
+    }
+
+    /// The initial value `v0`.
+    pub fn initial_value(&self) -> &V {
+        &self.v0
+    }
+
+    /// The operation history recorded so far (`H|correct` if only correct
+    /// processes used handles).
+    #[must_use]
+    pub fn history(&self) -> HistoryLog<VerInv<V>, VerResp<V>> {
+        self.log.clone()
+    }
+
+    /// Read-only views of the shared registers (for diagnostics and tests).
+    #[must_use]
+    pub fn shared(&self) -> SharedPorts<V> {
+        self.shared.clone()
+    }
+
+    fn take_ports(&self, pid: ProcessId) -> ProcessPorts<V> {
+        self.endpoints.lock()[pid.zero_based()]
+            .take()
+            .unwrap_or_else(|| panic!("ports of {pid} already taken"))
+    }
+
+    /// The unique writer handle (process `p1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if taken twice, or if `p1` was declared Byzantine (use
+    /// [`VerifiableRegister::attack_ports`] instead).
+    #[must_use]
+    pub fn writer(&self) -> VerifiableWriter<V> {
+        let pid = ProcessId::new(1);
+        assert!(!self.env.is_faulty(pid), "p1 is Byzantine; take attack_ports(p1) instead");
+        let ports = self.take_ports(pid);
+        VerifiableWriter {
+            env: self.env.clone(),
+            r_star_w: ports.r_star_w.expect("writer ports"),
+            r1_w: ports.witness_w,
+            written: BTreeSet::new(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// The reader handle for `pid ∈ {p2, …, pn}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is the writer, was taken before, or was declared
+    /// Byzantine.
+    #[must_use]
+    pub fn reader(&self, pid: ProcessId) -> VerifiableReader<V> {
+        assert!(!pid.is_writer(), "p1 is the writer, not a reader");
+        assert!(!self.env.is_faulty(pid), "{pid} is Byzantine; take attack_ports({pid}) instead");
+        let ports = self.take_ports(pid);
+        VerifiableReader {
+            env: self.env.clone(),
+            pid,
+            ck_w: ports.asker_w.expect("reader ports"),
+            reply_column: self.shared.reply_column(pid),
+            r_star: self.shared.r_star.clone(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// The raw write ports of a **declared-Byzantine** process, for use by an
+    /// adversary strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is correct or the ports were already taken.
+    #[must_use]
+    pub fn attack_ports(&self, pid: ProcessId) -> AttackPorts<V> {
+        assert!(
+            self.env.is_faulty(pid),
+            "{pid} is correct; only declared-Byzantine processes get attack ports"
+        );
+        let ports = self.take_ports(pid);
+        AttackPorts {
+            pid,
+            r_star: ports.r_star_w,
+            witness: ports.witness_w,
+            replies: ports.replies_w,
+            asker: ports.asker_w,
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<V: Value> std::fmt::Debug for VerifiableRegister<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifiableRegister")
+            .field("n", &self.env.n())
+            .field("f", &self.env.f())
+            .field("v0", &self.v0)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer handle
+// ---------------------------------------------------------------------------
+
+/// The writer (`p1`) handle of a verifiable register: `Write` and `Sign`.
+///
+/// Methods take `&mut self`: a process applies its operations sequentially.
+pub struct VerifiableWriter<V> {
+    env: Env,
+    r_star_w: WritePort<V>,
+    r1_w: WritePort<WitnessSet<V>>,
+    /// The local variable `r*` (line 2): values written so far.
+    written: BTreeSet<V>,
+    log: HistoryLog<VerInv<V>, VerResp<V>>,
+}
+
+impl<V: Value> VerifiableWriter<V> {
+    /// `Write(v)` — Alg. 1 lines 1–3.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn write(&mut self, v: V) -> Result<()> {
+        self.env.check_running()?;
+        let op = self.log.invoke(ProcessId::new(1), VerInv::Write(v.clone()));
+        self.env.run_as(ProcessId::new(1), || {
+            self.r_star_w.write(v.clone()); // line 1: R* <- v
+        });
+        self.written.insert(v); // line 2: r* <- r* ∪ {v}
+        self.log.respond(op, ProcessId::new(1), VerResp::Done); // line 3
+        Ok(())
+    }
+
+    /// `Sign(v)` — Alg. 1 lines 4–8. Returns `true` for `success`.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn sign(&mut self, v: &V) -> Result<bool> {
+        self.env.check_running()?;
+        let op = self.log.invoke(ProcessId::new(1), VerInv::Sign(v.clone()));
+        let success = self.written.contains(v); // line 4: v ∈ r*?
+        if success {
+            self.env.run_as(ProcessId::new(1), || {
+                // line 5: R1 <- R1 ∪ {v} (owner RMW; one step).
+                self.r1_w.update(|set| {
+                    set.insert(v.clone());
+                });
+            });
+        }
+        self.log.respond(op, ProcessId::new(1), VerResp::SignResult(success));
+        Ok(success) // lines 6/8
+    }
+}
+
+impl<V: Value> std::fmt::Debug for VerifiableWriter<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifiableWriter(p1, {} values written)", self.written.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader handle
+// ---------------------------------------------------------------------------
+
+/// A reader (`p2..=pn`) handle of a verifiable register: `Read` and `Verify`.
+pub struct VerifiableReader<V> {
+    env: Env,
+    pid: ProcessId,
+    ck_w: WritePort<u64>,
+    reply_column: Vec<ReadPort<Reply<V>>>,
+    r_star: ReadPort<V>,
+    log: HistoryLog<VerInv<V>, VerResp<V>>,
+}
+
+impl<V: Value> VerifiableReader<V> {
+    /// The reader's process id.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// `Read()` — Alg. 1 lines 9–10.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn read(&mut self) -> Result<V> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, VerInv::Read);
+        let v = self.env.run_as(self.pid, || self.r_star.read()); // line 9
+        self.log.respond(op, self.pid, VerResp::ReadValue(v.clone()));
+        Ok(v) // line 10
+    }
+
+    /// `Verify(v)` — Alg. 1 lines 11–24.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn verify(&mut self, v: &V) -> Result<bool> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, VerInv::Verify(v.clone()));
+        let outcome = self
+            .env
+            .run_as(self.pid, || verify_quorum(&self.env, &self.ck_w, &self.reply_column, v))?;
+        self.log.respond(op, self.pid, VerResp::VerifyResult(outcome));
+        Ok(outcome)
+    }
+}
+
+impl<V: Value> std::fmt::Debug for VerifiableReader<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifiableReader({})", self.pid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Help task (lines 25-36)
+// ---------------------------------------------------------------------------
+
+struct HelpTask1<V: Value> {
+    env: Env,
+    shared: SharedPorts<V>,
+    witness_w: WritePort<WitnessSet<V>>,
+    replies_w: Vec<WritePort<Reply<V>>>,
+    tracker: AskerTracker,
+}
+
+impl<V: Value> byzreg_runtime::HelpTask for HelpTask1<V> {
+    fn tick(&mut self) {
+        // Lines 27-28: sample C_k and compute askers.
+        let (ck, askers) = self.tracker.poll(&self.shared.askers);
+        if askers.is_empty() {
+            return; // line 29 (no askers: do nothing this round)
+        }
+        // Line 30: read R_i of every process.
+        let r_all: Vec<WitnessSet<V>> =
+            self.shared.witness.iter().map(ReadPort::read).collect();
+        // Line 31: candidate values = r1 ∪ values appearing anywhere.
+        let mut candidates: BTreeSet<&V> = BTreeSet::new();
+        for set in &r_all {
+            candidates.extend(set.iter());
+        }
+        let f = self.env.f();
+        for v in candidates {
+            let in_r1 = r_all[0].contains(v);
+            let witnesses = r_all.iter().filter(|set| set.contains(v)).count();
+            if in_r1 || witnesses >= f + 1 {
+                // Line 32: R_j <- R_j ∪ {v} (owner RMW; one step).
+                self.witness_w.update(|set| {
+                    set.insert(v.clone());
+                });
+            }
+        }
+        // Line 33: r_j <- R_j.
+        let r_j = self.witness_w.read();
+        // Lines 34-36: help each asker.
+        for k in askers {
+            self.replies_w[k].write((r_j.clone(), ck[k]));
+            self.tracker.acknowledge(k, ck[k]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_runtime::{Scheduling, System};
+
+    fn sys(n: usize, seed: u64) -> System {
+        System::builder(n).scheduling(Scheduling::Chaotic(seed)).build()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let system = sys(4, 1);
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        assert_eq!(r.read().unwrap(), 0);
+        w.write(5).unwrap();
+        assert_eq!(r.read().unwrap(), 5);
+        w.write(6).unwrap();
+        assert_eq!(r.read().unwrap(), 6);
+        system.shutdown();
+    }
+
+    #[test]
+    fn sign_fails_for_unwritten_values() {
+        let system = sys(4, 2);
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        assert!(!w.sign(&3).unwrap(), "cannot sign a value never written");
+        w.write(3).unwrap();
+        assert!(w.sign(&3).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn verify_false_before_sign_true_after() {
+        let system = sys(4, 3);
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(3));
+        w.write(9).unwrap();
+        assert!(!r.verify(&9).unwrap(), "written but unsigned");
+        assert!(w.sign(&9).unwrap());
+        assert!(r.verify(&9).unwrap());
+        // Obs. 13: stays true for every reader from now on.
+        let mut r4 = reg.reader(ProcessId::new(4));
+        assert!(r4.verify(&9).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn old_values_can_be_signed_later() {
+        let system = sys(4, 4);
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(1).unwrap();
+        w.write(2).unwrap();
+        assert!(w.sign(&1).unwrap(), "§4: the writer may sign older values");
+        assert!(r.verify(&1).unwrap());
+        assert!(!r.verify(&2).unwrap());
+        assert_eq!(r.read().unwrap(), 2);
+        system.shutdown();
+    }
+
+    #[test]
+    fn verify_never_written_value_is_false() {
+        let system = sys(4, 5);
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let _w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        assert!(!r.verify(&42).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn works_at_larger_scales() {
+        let system = sys(7, 6);
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        w.write(11).unwrap();
+        w.sign(&11).unwrap();
+        for k in 2..=7 {
+            let mut r = reg.reader(ProcessId::new(k));
+            assert!(r.verify(&11).unwrap(), "reader p{k}");
+        }
+        system.shutdown();
+    }
+
+    #[test]
+    fn lockstep_execution_terminates_and_verifies() {
+        let system = System::builder(4).scheduling(Scheduling::Lockstep(42)).build();
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(7).unwrap();
+        w.sign(&7).unwrap();
+        assert!(r.verify(&7).unwrap());
+        assert!(!r.verify(&8).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn install_rejects_n_le_3f() {
+        let system = System::builder(3).resilience(1).build();
+        let _ = VerifiableRegister::install(&system, 0u32);
+    }
+
+    #[test]
+    fn history_is_recorded_for_all_ops() {
+        let system = sys(4, 7);
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(1).unwrap();
+        w.sign(&1).unwrap();
+        let _ = r.read().unwrap();
+        let _ = r.verify(&1).unwrap();
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert_eq!(ops.len(), 4);
+        assert!(matches!(ops[0].invocation, VerInv::Write(1)));
+        assert!(matches!(ops[1].invocation, VerInv::Sign(1)));
+    }
+
+    #[test]
+    fn attack_ports_only_for_declared_byzantine() {
+        let system = System::builder(4).byzantine(ProcessId::new(3)).build();
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let ports = reg.attack_ports(ProcessId::new(3));
+        assert_eq!(ports.pid, ProcessId::new(3));
+        assert!(ports.r_star.is_none(), "p3 does not own R*");
+        assert!(ports.asker.is_some());
+        system.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "is correct")]
+    fn attack_ports_for_correct_process_panics() {
+        let system = System::builder(4).build();
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let _ = reg.attack_ports(ProcessId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn double_reader_take_panics() {
+        let system = System::builder(4).build();
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let _a = reg.reader(ProcessId::new(2));
+        let _b = reg.reader(ProcessId::new(2));
+    }
+}

@@ -1,0 +1,18 @@
+//! # byzreg-crypto
+//!
+//! Idealized signature machinery for the `byzreg` reproduction:
+//!
+//! * [`oracle`] — an ideal unforgeable-signature functionality with a
+//!   configurable CPU cost model (the paper's footnote 1 assumption, made
+//!   executable),
+//! * [`signed`] — signature-**based** register baselines that the
+//!   signature-free Algorithms 1–2 are benchmarked against (experiment B4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod signed;
+
+pub use oracle::{CostModel, Signature, SignatureOracle, SigningKey};
+pub use signed::{SignedReader, SignedVerifiableRegister, SignedWriter};

@@ -1,0 +1,273 @@
+//! An **idealized unforgeable-signature oracle**.
+//!
+//! The paper (footnote 1) treats digital signatures as an idealized
+//! primitive: forging them "requires solving some computational problem that
+//! is known to be hard". This module models exactly that ideal functionality
+//! so that signature-*based* baselines can be compared against the paper's
+//! signature-*free* registers without dragging in real cryptography:
+//!
+//! * a [`SigningKey`] can be issued **once** per process (trusted setup);
+//! * [`SigningKey::sign`] produces a [`Signature`] carrying an unguessable
+//!   tag recorded by the oracle;
+//! * [`SignatureOracle::verify`] accepts a signature iff its tag matches the
+//!   recorded one — so adversaries can *replay* genuine signatures (they are
+//!   transferable, as real signatures are) but cannot *mint* signatures for
+//!   values the owner never signed ([`Signature::forged`] never verifies);
+//! * a configurable [`CostModel`] burns CPU per sign/verify so benchmarks
+//!   can sweep realistic crypto costs (experiment B4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use byzreg_runtime::{ProcessId, Value};
+
+/// Simulated CPU cost of signature operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostModel {
+    /// Busy-wait duration per `sign`.
+    pub sign: Duration,
+    /// Busy-wait duration per `verify`.
+    pub verify: Duration,
+}
+
+impl CostModel {
+    /// Zero-cost signatures (pure functionality).
+    #[must_use]
+    pub fn free() -> Self {
+        CostModel::default()
+    }
+
+    /// Symmetric cost for both operations.
+    #[must_use]
+    pub fn uniform(d: Duration) -> Self {
+        CostModel { sign: d, verify: d }
+    }
+}
+
+fn burn(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// A signature over a value, attributable to a signer.
+///
+/// Signatures are plain data: they can be copied, stored in registers, and
+/// relayed — exactly like real signature strings. Only
+/// [`SignatureOracle::verify`] can tell genuine ones from forgeries.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Signature<V> {
+    signer: ProcessId,
+    value: V,
+    tag: u64,
+}
+
+impl<V: Value> Signature<V> {
+    /// The claimed signer.
+    #[must_use]
+    pub fn signer(&self) -> ProcessId {
+        self.signer
+    }
+
+    /// The signed value.
+    #[must_use]
+    pub fn value(&self) -> &V {
+        &self.value
+    }
+
+    /// Constructs a *forged* signature: a claim that `signer` signed
+    /// `value`, with a guessed tag. Verification fails unless the signer
+    /// really signed that value with that tag — mirroring the computational
+    /// hardness assumption.
+    #[must_use]
+    pub fn forged(signer: ProcessId, value: V, guessed_tag: u64) -> Self {
+        Signature { signer, value, tag: guessed_tag }
+    }
+}
+
+struct OracleInner<V> {
+    /// `(signer, value) -> tag` for every genuine signature.
+    signed: Mutex<HashMap<(ProcessId, V), u64>>,
+    issued: Mutex<HashMap<ProcessId, bool>>,
+    next_tag: Mutex<u64>,
+    cost: CostModel,
+}
+
+/// The trusted signature functionality shared by all processes of a system.
+pub struct SignatureOracle<V> {
+    inner: Arc<OracleInner<V>>,
+}
+
+impl<V> Clone for SignatureOracle<V> {
+    fn clone(&self) -> Self {
+        SignatureOracle { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<V: Value> SignatureOracle<V> {
+    /// Creates an oracle with the given cost model.
+    #[must_use]
+    pub fn new(cost: CostModel) -> Self {
+        SignatureOracle {
+            inner: Arc::new(OracleInner {
+                signed: Mutex::new(HashMap::new()),
+                issued: Mutex::new(HashMap::new()),
+                next_tag: Mutex::new(0x5EED_0001),
+                cost,
+            }),
+        }
+    }
+
+    /// Issues the signing key of `pid` (trusted setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid`'s key was already issued: like a real private key, it
+    /// exists exactly once.
+    #[must_use]
+    pub fn issue_key(&self, pid: ProcessId) -> SigningKey<V> {
+        let mut issued = self.inner.issued.lock();
+        assert!(!issued.contains_key(&pid), "signing key of {pid} already issued");
+        issued.insert(pid, true);
+        SigningKey { pid, oracle: self.clone() }
+    }
+
+    /// Verifies a signature; burns the configured verify cost.
+    #[must_use]
+    pub fn verify(&self, sig: &Signature<V>) -> bool {
+        burn(self.inner.cost.verify);
+        self.inner
+            .signed
+            .lock()
+            .get(&(sig.signer, sig.value.clone()))
+            .is_some_and(|tag| *tag == sig.tag)
+    }
+
+    /// The configured cost model.
+    #[must_use]
+    pub fn cost(&self) -> CostModel {
+        self.inner.cost
+    }
+}
+
+impl<V: Value> std::fmt::Debug for SignatureOracle<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SignatureOracle(cost = {:?})", self.inner.cost)
+    }
+}
+
+/// The private signing capability of one process.
+pub struct SigningKey<V> {
+    pid: ProcessId,
+    oracle: SignatureOracle<V>,
+}
+
+impl<V: Value> SigningKey<V> {
+    /// The key owner.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Signs `value`; burns the configured sign cost.
+    #[must_use]
+    pub fn sign(&self, value: V) -> Signature<V> {
+        burn(self.oracle.inner.cost.sign);
+        let mut signed = self.oracle.inner.signed.lock();
+        let tag = *signed.entry((self.pid, value.clone())).or_insert_with(|| {
+            let mut next = self.oracle.inner.next_tag.lock();
+            *next = next.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            *next
+        });
+        Signature { signer: self.pid, value, tag }
+    }
+}
+
+impl<V: Value> std::fmt::Debug for SigningKey<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SigningKey({})", self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genuine_signatures_verify() {
+        let oracle = SignatureOracle::new(CostModel::free());
+        let key = oracle.issue_key(ProcessId::new(1));
+        let sig = key.sign(42u32);
+        assert!(oracle.verify(&sig));
+        assert_eq!(sig.signer(), ProcessId::new(1));
+        assert_eq!(*sig.value(), 42);
+    }
+
+    #[test]
+    fn forgeries_do_not_verify() {
+        let oracle = SignatureOracle::new(CostModel::free());
+        let _key = oracle.issue_key(ProcessId::new(1));
+        for guess in [0u64, 1, u64::MAX, 0x5EED_0001] {
+            let forged = Signature::forged(ProcessId::new(1), 42u32, guess);
+            assert!(!oracle.verify(&forged), "guess {guess:#x} must fail");
+        }
+    }
+
+    #[test]
+    fn replayed_signatures_verify_like_real_ones() {
+        // Transferability: a relayed copy of a genuine signature is valid.
+        let oracle = SignatureOracle::new(CostModel::free());
+        let key = oracle.issue_key(ProcessId::new(1));
+        let sig = key.sign(7u32);
+        let relayed = sig.clone();
+        assert!(oracle.verify(&relayed));
+    }
+
+    #[test]
+    fn signatures_bind_signer_and_value() {
+        let oracle = SignatureOracle::new(CostModel::free());
+        let k1 = oracle.issue_key(ProcessId::new(1));
+        let _k2 = oracle.issue_key(ProcessId::new(2));
+        let sig = k1.sign(7u32);
+        // Same tag claimed for a different signer or value fails.
+        let cross = Signature::forged(ProcessId::new(2), 7u32, sig.tag);
+        assert!(!oracle.verify(&cross));
+        let other = Signature::forged(ProcessId::new(1), 8u32, sig.tag);
+        assert!(!oracle.verify(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "already issued")]
+    fn keys_are_issued_once() {
+        let oracle: SignatureOracle<u32> = SignatureOracle::new(CostModel::free());
+        let _a = oracle.issue_key(ProcessId::new(1));
+        let _b = oracle.issue_key(ProcessId::new(1));
+    }
+
+    #[test]
+    fn cost_model_burns_time() {
+        let oracle = SignatureOracle::new(CostModel::uniform(Duration::from_micros(200)));
+        let key = oracle.issue_key(ProcessId::new(1));
+        let t0 = Instant::now();
+        let sig = key.sign(1u32);
+        let _ = oracle.verify(&sig);
+        assert!(t0.elapsed() >= Duration::from_micros(400));
+    }
+
+    #[test]
+    fn resigning_the_same_value_is_stable() {
+        let oracle = SignatureOracle::new(CostModel::free());
+        let key = oracle.issue_key(ProcessId::new(1));
+        let a = key.sign(5u32);
+        let b = key.sign(5u32);
+        assert_eq!(a, b, "idempotent signing keeps one canonical tag");
+        assert!(oracle.verify(&a) && oracle.verify(&b));
+    }
+}

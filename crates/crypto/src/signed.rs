@@ -1,0 +1,341 @@
+//! Signature-**based** register baselines.
+//!
+//! These are the constructions the paper positions itself against (§1, §2):
+//! when unforgeable signatures are available, verifiable/authenticated
+//! registers are easy — a reader that sees a validly signed value copies the
+//! signature into its *own* register (evidence), which makes the relay
+//! property trivial. With ideal signatures the resilience is `n > f` (even
+//! better than the `n > 2f` of the signature-using algorithms in
+//! Cohen & Keidar [5], which need quorums for other objects); the price is a
+//! cryptographic operation on every step, which experiment **B4** sweeps to
+//! find the crossover against the signature-free Algorithms 1–2.
+//!
+//! Faithfulness notes: the writer's registers can be erased by a Byzantine
+//! writer, but evidence registers of correct readers persist — exactly the
+//! standard argument for why signatures defeat denial.
+
+use parking_lot::Mutex;
+
+use byzreg_runtime::{
+    register, Env, HistoryLog, ProcessId, ReadPort, Result, System, Value, WritePort,
+};
+use byzreg_spec::registers::{VerInv, VerResp};
+
+use crate::oracle::{Signature, SignatureOracle, SigningKey};
+
+/// Evidence set stored by each reader: valid signatures it has seen.
+pub type Evidence<V> = std::collections::BTreeSet<Signature<V>>;
+
+/// A signature-based SWMR verifiable register (baseline for Algorithm 1).
+///
+/// Registers: the writer's current-value register `CUR`, the writer's
+/// published-signature register `SIGS`, and one evidence register per
+/// reader.
+pub struct SignedVerifiableRegister<V: Ord> {
+    env: Env,
+    oracle: SignatureOracle<V>,
+    cur_r: ReadPort<(u64, V)>,
+    sigs_r: ReadPort<Evidence<V>>,
+    evidence_r: Vec<ReadPort<Evidence<V>>>,
+    writer_ports: Mutex<Option<(WritePort<(u64, V)>, WritePort<Evidence<V>>, SigningKey<V>)>>,
+    reader_ports: Mutex<Vec<Option<WritePort<Evidence<V>>>>>,
+    log: HistoryLog<VerInv<V>, VerResp<V>>,
+}
+
+impl<V: Value> SignedVerifiableRegister<V> {
+    /// Installs the baseline register on `system` with initial value `v0`,
+    /// using `oracle` for signatures.
+    ///
+    /// Unlike Algorithm 1 this needs no helping and works for any `n > f`.
+    #[must_use]
+    pub fn install(system: &System, v0: V, oracle: &SignatureOracle<V>) -> Self {
+        let env = system.env().clone();
+        let n = env.n();
+        let gate = env.gate();
+        let (cur_w, cur_r) =
+            register::swmr(gate.clone(), ProcessId::new(1), "CUR", (0u64, v0.clone()));
+        let (sigs_w, sigs_r) =
+            register::swmr(gate.clone(), ProcessId::new(1), "SIGS", Evidence::<V>::new());
+        let mut evidence_w = Vec::with_capacity(n - 1);
+        let mut evidence_r = Vec::with_capacity(n - 1);
+        for k in 2..=n {
+            let (w, r) =
+                register::swmr(gate.clone(), ProcessId::new(k), format!("EV[{k}]"), Evidence::new());
+            evidence_w.push(w);
+            evidence_r.push(r);
+        }
+        let key = oracle.issue_key(ProcessId::new(1));
+        SignedVerifiableRegister {
+            env: env.clone(),
+            oracle: oracle.clone(),
+            cur_r,
+            sigs_r,
+            evidence_r,
+            writer_ports: Mutex::new(Some((cur_w, sigs_w, key))),
+            reader_ports: Mutex::new(evidence_w.into_iter().map(Some).collect()),
+            log: HistoryLog::new(env.clock()),
+        }
+    }
+
+    /// The recorded operation history.
+    #[must_use]
+    pub fn history(&self) -> HistoryLog<VerInv<V>, VerResp<V>> {
+        self.log.clone()
+    }
+
+    /// The unique writer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if taken twice or `p1` is declared Byzantine.
+    #[must_use]
+    pub fn writer(&self) -> SignedWriter<V> {
+        assert!(!self.env.is_faulty(ProcessId::new(1)), "p1 is Byzantine");
+        let (cur_w, sigs_w, key) =
+            self.writer_ports.lock().take().expect("writer already taken");
+        SignedWriter {
+            env: self.env.clone(),
+            cur_w,
+            sigs_w,
+            key,
+            seq: 0,
+            written: std::collections::BTreeSet::new(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// The reader handle for `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is the writer, taken twice, or declared Byzantine.
+    #[must_use]
+    pub fn reader(&self, pid: ProcessId) -> SignedReader<V> {
+        assert!(!pid.is_writer(), "p1 is the writer");
+        assert!(!self.env.is_faulty(pid), "{pid} is Byzantine");
+        let port = self.reader_ports.lock()[pid.index() - 2]
+            .take()
+            .unwrap_or_else(|| panic!("reader {pid} already taken"));
+        SignedReader {
+            env: self.env.clone(),
+            pid,
+            oracle: self.oracle.clone(),
+            cur_r: self.cur_r.clone(),
+            sigs_r: self.sigs_r.clone(),
+            evidence_r: self.evidence_r.clone(),
+            evidence_w: port,
+            log: self.log.clone(),
+        }
+    }
+
+    /// Write ports of a declared-Byzantine **writer** (readers' evidence
+    /// registers are not interesting to attack: forged signatures never
+    /// verify).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p1` is correct or the ports were taken.
+    #[must_use]
+    pub fn writer_attack_ports(
+        &self,
+    ) -> (WritePort<(u64, V)>, WritePort<Evidence<V>>, SigningKey<V>) {
+        assert!(self.env.is_faulty(ProcessId::new(1)), "p1 is correct");
+        self.writer_ports.lock().take().expect("writer ports already taken")
+    }
+}
+
+impl<V: Value> std::fmt::Debug for SignedVerifiableRegister<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SignedVerifiableRegister(n = {})", self.env.n())
+    }
+}
+
+/// The signature-based writer handle.
+pub struct SignedWriter<V: Ord> {
+    env: Env,
+    cur_w: WritePort<(u64, V)>,
+    sigs_w: WritePort<Evidence<V>>,
+    key: SigningKey<V>,
+    seq: u64,
+    written: std::collections::BTreeSet<V>,
+    log: HistoryLog<VerInv<V>, VerResp<V>>,
+}
+
+impl<V: Value> SignedWriter<V> {
+    /// `Write(v)`.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn write(&mut self, v: V) -> Result<()> {
+        self.env.check_running()?;
+        let op = self.log.invoke(ProcessId::new(1), VerInv::Write(v.clone()));
+        self.seq += 1;
+        let seq = self.seq;
+        self.env.run_as(ProcessId::new(1), || self.cur_w.write((seq, v.clone())));
+        self.written.insert(v);
+        self.log.respond(op, ProcessId::new(1), VerResp::Done);
+        Ok(())
+    }
+
+    /// `Sign(v)` — signs with the oracle and publishes the signature.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn sign(&mut self, v: &V) -> Result<bool> {
+        self.env.check_running()?;
+        let op = self.log.invoke(ProcessId::new(1), VerInv::Sign(v.clone()));
+        let success = self.written.contains(v);
+        if success {
+            let sig = self.key.sign(v.clone());
+            self.env.run_as(ProcessId::new(1), || {
+                self.sigs_w.update(|set| {
+                    set.insert(sig.clone());
+                });
+            });
+        }
+        self.log.respond(op, ProcessId::new(1), VerResp::SignResult(success));
+        Ok(success)
+    }
+}
+
+/// The signature-based reader handle.
+pub struct SignedReader<V: Ord> {
+    env: Env,
+    pid: ProcessId,
+    oracle: SignatureOracle<V>,
+    cur_r: ReadPort<(u64, V)>,
+    sigs_r: ReadPort<Evidence<V>>,
+    evidence_r: Vec<ReadPort<Evidence<V>>>,
+    evidence_w: WritePort<Evidence<V>>,
+    log: HistoryLog<VerInv<V>, VerResp<V>>,
+}
+
+impl<V: Value> SignedReader<V> {
+    /// `Read()` — plain register read of the writer's current value.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn read(&mut self) -> Result<V> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, VerInv::Read);
+        let (_, v) = self.env.run_as(self.pid, || self.cur_r.read());
+        self.log.respond(op, self.pid, VerResp::ReadValue(v.clone()));
+        Ok(v)
+    }
+
+    /// `Verify(v)` — scans the writer's published signatures and every
+    /// reader's evidence register for a *valid* signature on `v`; on success
+    /// copies it into this reader's evidence register (that copy is what
+    /// makes relay work under a denying writer).
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn verify(&mut self, v: &V) -> Result<bool> {
+        self.env.check_running()?;
+        let op = self.log.invoke(self.pid, VerInv::Verify(v.clone()));
+        let found = self.env.run_as(self.pid, || {
+            let mut candidate: Option<Signature<V>> = None;
+            let sets = std::iter::once(self.sigs_r.read())
+                .chain(self.evidence_r.iter().map(ReadPort::read));
+            'scan: for set in sets {
+                for sig in set {
+                    if sig.value() == v
+                        && sig.signer() == ProcessId::new(1)
+                        && self.oracle.verify(&sig)
+                    {
+                        candidate = Some(sig);
+                        break 'scan;
+                    }
+                }
+            }
+            match candidate {
+                Some(sig) => {
+                    self.evidence_w.update(|set| {
+                        set.insert(sig);
+                    });
+                    true
+                }
+                None => false,
+            }
+        });
+        self.log.respond(op, self.pid, VerResp::VerifyResult(found));
+        Ok(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CostModel;
+    use byzreg_runtime::System;
+
+    #[test]
+    fn baseline_validity_and_relay() {
+        let system = System::builder(4).build();
+        let oracle = SignatureOracle::new(CostModel::free());
+        let reg = SignedVerifiableRegister::install(&system, 0u32, &oracle);
+        let mut w = reg.writer();
+        let mut r2 = reg.reader(ProcessId::new(2));
+        let mut r3 = reg.reader(ProcessId::new(3));
+        w.write(5).unwrap();
+        assert!(!r2.verify(&5).unwrap());
+        assert!(w.sign(&5).unwrap());
+        assert!(r2.verify(&5).unwrap());
+        assert!(r3.verify(&5).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn baseline_survives_denial() {
+        // Byzantine writer signs, lets a reader verify, then erases SIGS.
+        let system = System::builder(4).byzantine(ProcessId::new(1)).build();
+        let oracle = SignatureOracle::new(CostModel::free());
+        let reg = SignedVerifiableRegister::install(&system, 0u32, &oracle);
+        let (cur_w, sigs_w, key) = reg.writer_attack_ports();
+        cur_w.write((1, 9));
+        let sig = key.sign(9);
+        sigs_w.update(|s| {
+            s.insert(sig);
+        });
+        let mut r2 = reg.reader(ProcessId::new(2));
+        assert!(r2.verify(&9).unwrap());
+        // Deny.
+        sigs_w.write(Evidence::new());
+        // r2's evidence copy keeps the signature alive for everyone.
+        let mut r3 = reg.reader(ProcessId::new(3));
+        assert!(r3.verify(&9).unwrap(), "relay via evidence registers");
+        system.shutdown();
+    }
+
+    #[test]
+    fn baseline_rejects_forgeries() {
+        let system = System::builder(4).byzantine(ProcessId::new(3)).build();
+        let oracle = SignatureOracle::new(CostModel::free());
+        let reg = SignedVerifiableRegister::install(&system, 0u32, &oracle);
+        let _w = reg.writer();
+        // Byzantine reader p3 plants a forged signature in its evidence set.
+        // (Attack through the raw register: p3 owns EV[3].)
+        // We simulate by verifying against a value nobody signed.
+        let mut r2 = reg.reader(ProcessId::new(2));
+        assert!(!r2.verify(&666).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn baseline_works_even_at_n_2() {
+        // With ideal signatures the resilience is n > f: no quorums needed.
+        let system = System::builder(2).resilience(1).build();
+        let oracle = SignatureOracle::new(CostModel::free());
+        let reg = SignedVerifiableRegister::install(&system, 0u32, &oracle);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        w.write(1).unwrap();
+        w.sign(&1).unwrap();
+        assert!(r.verify(&1).unwrap());
+        system.shutdown();
+    }
+}

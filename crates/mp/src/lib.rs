@@ -1,0 +1,25 @@
+//! # byzreg-mp
+//!
+//! Message-passing substrate for the `byzreg` reproduction:
+//!
+//! * [`net`] — a simulated asynchronous network with reliable FIFO
+//!   authenticated channels and seeded delivery jitter,
+//! * [`swmr`] — a signature-free emulation of an atomic SWMR register for
+//!   Byzantine systems with `n > 3f`, in the style of
+//!   Mostéfaoui–Petrolia–Raynal–Jard (the paper's citation [11]),
+//! * [`backend`] — an [`MpFactory`](backend::MpFactory) that lets
+//!   Algorithms 1–3 of `byzreg-core` run **unchanged** over the emulation,
+//!   executing the paper's message-passing corollary (experiment E6).
+
+#![forbid(unsafe_code)]
+// Thresholds are written exactly as in the paper (`>= f + 1`, `>= n - f`).
+#![allow(clippy::int_plus_one)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod net;
+pub mod swmr;
+
+pub use backend::MpFactory;
+pub use net::{network, Endpoint, NetConfig};
+pub use swmr::{MpClient, MpConfig, MpRegister, Msg};

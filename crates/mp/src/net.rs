@@ -1,0 +1,217 @@
+//! A simulated asynchronous message-passing network with authenticated
+//! point-to-point channels.
+//!
+//! Assumptions match those of Mostéfaoui–Petrolia–Raynal–Jard [11] and
+//! Srikanth–Toueg [13]: channels are reliable and FIFO per link, delivery is
+//! asynchronous (optionally with seeded jitter), and a receiver always knows
+//! the true sender (no spoofing) — Byzantine nodes may send arbitrary
+//! *message contents* but only under their own identity.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use byzreg_runtime::ProcessId;
+
+/// An addressed, timestamped message in flight.
+struct Envelope<M> {
+    from: ProcessId,
+    deliver_at: Instant,
+    payload: M,
+}
+
+/// Seeded delivery-jitter configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetConfig {
+    /// Maximum artificial delivery delay; `None`/zero = deliver immediately.
+    pub max_jitter: Duration,
+    /// Seed for the per-send jitter.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// No artificial delays.
+    #[must_use]
+    pub fn instant() -> Self {
+        NetConfig::default()
+    }
+
+    /// Seeded jitter up to `max`.
+    #[must_use]
+    pub fn jittery(max: Duration, seed: u64) -> Self {
+        NetConfig { max_jitter: max, seed }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One node's attachment to the network.
+pub struct Endpoint<M> {
+    me: ProcessId,
+    peers: Vec<Sender<Envelope<M>>>,
+    inbox: Receiver<Envelope<M>>,
+    /// A message already received but not yet due for delivery.
+    held: parking_lot::Mutex<Option<Envelope<M>>>,
+    config: NetConfig,
+    sends: std::sync::atomic::AtomicU64,
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// This endpoint's node id.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Sends `payload` to `to` (authenticated: stamped with the true sender).
+    pub fn send(&self, to: ProcessId, payload: M) {
+        let n = self.sends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let jitter = if self.config.max_jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            let h = splitmix64(self.config.seed ^ n ^ ((self.me.index() as u64) << 48));
+            Duration::from_nanos(h % self.config.max_jitter.as_nanos().max(1) as u64)
+        };
+        let env = Envelope { from: self.me, deliver_at: Instant::now() + jitter, payload };
+        // Reliable channels: a send to a live node never fails; sends to a
+        // shut-down node are dropped, which only ever happens at teardown.
+        let _ = self.peers[to.zero_based()].send(env);
+    }
+
+    /// Broadcasts clones of `payload` to every node (including the sender).
+    pub fn broadcast(&self, payload: M)
+    where
+        M: Clone,
+    {
+        for i in 1..=self.peers.len() {
+            self.send(ProcessId::new(i), payload.clone());
+        }
+    }
+
+    /// Receives the next due message, waiting up to `timeout`.
+    /// Returns `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(ProcessId, M)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Deliver a held message once due.
+            {
+                let mut held = self.held.lock();
+                if let Some(env) = held.take() {
+                    let now = Instant::now();
+                    if env.deliver_at <= now {
+                        return Some((env.from, env.payload));
+                    }
+                    let wait = env.deliver_at.min(deadline) - now;
+                    *held = Some(env);
+                    drop(held);
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(wait.min(Duration::from_micros(200)));
+                    continue;
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.inbox.recv_timeout(deadline - now) {
+                Ok(env) => {
+                    *self.held.lock() = Some(env);
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Endpoint({})", self.me)
+    }
+}
+
+/// Builds a fully connected network of `n` nodes; returns one [`Endpoint`]
+/// per node (index `i` ⇔ `p_{i+1}`).
+#[must_use]
+pub fn network<M: Send + 'static>(n: usize, config: NetConfig) -> Vec<Endpoint<M>> {
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(i, inbox)| Endpoint {
+            me: ProcessId::new(i + 1),
+            peers: senders.clone(),
+            inbox,
+            held: parking_lot::Mutex::new(None),
+            config,
+            sends: std::sync::atomic::AtomicU64::new(0),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_arrive_with_true_sender() {
+        let eps = network::<u32>(3, NetConfig::instant());
+        eps[0].send(ProcessId::new(3), 42);
+        let (from, msg) = eps[2].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(from, ProcessId::new(1));
+        assert_eq!(msg, 42);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let eps = network::<&str>(3, NetConfig::instant());
+        eps[1].broadcast("hello");
+        for ep in &eps {
+            let (from, msg) = ep.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(from, ProcessId::new(2));
+            assert_eq!(msg, "hello");
+        }
+    }
+
+    #[test]
+    fn recv_times_out_when_quiet() {
+        let eps = network::<u32>(2, NetConfig::instant());
+        assert!(eps[0].recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn links_are_fifo() {
+        let eps = network::<u32>(2, NetConfig::instant());
+        for i in 0..100 {
+            eps[0].send(ProcessId::new(2), i);
+        }
+        for i in 0..100 {
+            let (_, msg) = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(msg, i);
+        }
+    }
+
+    #[test]
+    fn jittered_messages_still_arrive() {
+        let eps = network::<u32>(2, NetConfig::jittery(Duration::from_millis(2), 7));
+        for i in 0..20 {
+            eps[0].send(ProcessId::new(2), i);
+        }
+        for i in 0..20 {
+            let (_, msg) = eps[1].recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(msg, i, "per-link FIFO holds despite jitter");
+        }
+    }
+}

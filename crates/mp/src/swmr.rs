@@ -1,0 +1,576 @@
+//! A signature-free emulation of an **atomic SWMR register** in a Byzantine
+//! asynchronous message-passing system with `n > 3f`.
+//!
+//! This is the substrate behind the paper's closing claim of §1: *"since
+//! SWMR registers can be implemented in message-passing systems with
+//! `n > 3f` [11], verifiable/authenticated/sticky registers can also be
+//! implemented in these systems without using signatures."* The protocol is
+//! in the style of Mostéfaoui–Petrolia–Raynal–Jard [11], built from the
+//! Srikanth–Toueg echo pattern [13]:
+//!
+//! * **Write(sn, v)** — the writer broadcasts; a node *echoes* the first
+//!   value it sees for `sn` (or any value with `f + 1` echoes — Bracha
+//!   amplification); it *validates* `(sn, v)` at `n − f` matching echoes,
+//!   acks the writer, and broadcasts `VALID(sn, v)`; `f + 1` `VALID`s also
+//!   validate. Echo-quorum intersection (`2(n−f) − n ≥ f + 1`) makes the
+//!   validated value per `sn` unique, and `VALID` amplification gives
+//!   *totality*: if one correct node validates, all correct nodes do.
+//!   The write returns after `n − f` acks, so at least `f + 1` correct
+//!   nodes hold `ts ≥ sn` from then on.
+//! * **Read(rid)** — the reader registers at all nodes and receives `STATE`
+//!   reports (re-sent on every local change). It maintains `best` = the
+//!   largest `sn` such that `f + 1` nodes report `ts ≥ sn` (one of them is
+//!   correct, so `best` is genuine), and returns once `n − f` nodes report
+//!   *exactly* `(best, v)` — which leaves `f + 1` correct nodes pinned at
+//!   `≥ best`, making reads monotone (no new/old inversion).
+//!
+//! Liveness caveat (documented in DESIGN.md): reads are guaranteed to
+//! terminate when the writer eventually pauses — the classic cost of
+//! atomic reads without writer-side helping; all tests and benches satisfy
+//! this.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use byzreg_runtime::{ProcessId, Value};
+
+use crate::net::{network, Endpoint, NetConfig};
+
+/// Protocol messages. Public so Byzantine nodes can craft arbitrary ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg<V> {
+    /// Writer announces write `sn` of `v`.
+    Write {
+        /// Sequence number.
+        sn: u64,
+        /// Value.
+        v: V,
+    },
+    /// Echo of a write.
+    Echo {
+        /// Sequence number.
+        sn: u64,
+        /// Value.
+        v: V,
+    },
+    /// Acknowledgment that the sender validated write `sn`.
+    Ack {
+        /// Sequence number.
+        sn: u64,
+    },
+    /// The sender validated `(sn, v)` (totality amplification).
+    Valid {
+        /// Sequence number.
+        sn: u64,
+        /// Value.
+        v: V,
+    },
+    /// Reader registration.
+    Read {
+        /// Read id (unique per reader).
+        rid: u64,
+    },
+    /// A node's current validated state, addressed to a pending read.
+    State {
+        /// The read id this answers.
+        rid: u64,
+        /// The node's validated timestamp.
+        ts: u64,
+        /// The node's validated value.
+        v: V,
+    },
+    /// Reader deregistration.
+    ReadDone {
+        /// Read id.
+        rid: u64,
+    },
+}
+
+/// Commands from a client to its co-located node.
+enum Cmd<V> {
+    Write(V, Sender<()>),
+    Read(Sender<(u64, V)>),
+}
+
+struct Node<V: Value> {
+    ep: Endpoint<Msg<V>>,
+    n: usize,
+    f: usize,
+    writer: ProcessId,
+    // Validated state.
+    ts: u64,
+    val: V,
+    validated: HashSet<u64>,
+    echoed: HashMap<u64, V>,
+    echo_from: HashMap<(u64, V), HashSet<ProcessId>>,
+    valid_from: HashMap<(u64, V), HashSet<ProcessId>>,
+    pending_readers: HashSet<(ProcessId, u64)>,
+    // Client-side state (this node doubles as its process's client agent).
+    next_sn: u64,
+    next_rid: u64,
+    write_op: Option<(u64, HashSet<ProcessId>, Sender<()>)>,
+    read_op: Option<ReadOp<V>>,
+}
+
+struct ReadOp<V> {
+    rid: u64,
+    reports: BTreeMap<ProcessId, (u64, V)>,
+    reply: Sender<(u64, V)>,
+}
+
+impl<V: Value> Node<V> {
+    fn validate(&mut self, sn: u64, v: V) {
+        if !self.validated.insert(sn) {
+            return;
+        }
+        self.ep.send(self.writer, Msg::Ack { sn });
+        self.ep.broadcast(Msg::Valid { sn, v: v.clone() });
+        if sn > self.ts {
+            self.ts = sn;
+            self.val = v;
+            // Refresh every pending reader.
+            for (r, rid) in self.pending_readers.clone() {
+                self.ep.send(r, Msg::State { rid, ts: self.ts, v: self.val.clone() });
+            }
+        }
+    }
+
+    fn handle(&mut self, from: ProcessId, msg: Msg<V>) {
+        match msg {
+            Msg::Write { sn, v } => {
+                if from == self.writer && !self.echoed.contains_key(&sn) {
+                    self.echoed.insert(sn, v.clone());
+                    self.ep.broadcast(Msg::Echo { sn, v });
+                }
+            }
+            Msg::Echo { sn, v } => {
+                let set = self.echo_from.entry((sn, v.clone())).or_default();
+                if !set.insert(from) {
+                    return;
+                }
+                let count = set.len();
+                if count >= self.f + 1 && !self.echoed.contains_key(&sn) {
+                    self.echoed.insert(sn, v.clone());
+                    self.ep.broadcast(Msg::Echo { sn, v: v.clone() });
+                }
+                if count >= self.n - self.f && !self.validated.contains(&sn) {
+                    self.validate(sn, v);
+                }
+            }
+            Msg::Valid { sn, v } => {
+                let set = self.valid_from.entry((sn, v.clone())).or_default();
+                if !set.insert(from) {
+                    return;
+                }
+                if set.len() >= self.f + 1 && !self.validated.contains(&sn) {
+                    self.validate(sn, v);
+                }
+            }
+            Msg::Ack { sn } => {
+                if let Some((want, acks, reply)) = &mut self.write_op {
+                    if *want == sn {
+                        acks.insert(from);
+                        if acks.len() >= self.n - self.f {
+                            let _ = reply.send(());
+                            self.write_op = None;
+                        }
+                    }
+                }
+            }
+            Msg::Read { rid } => {
+                self.pending_readers.insert((from, rid));
+                self.ep.send(from, Msg::State { rid, ts: self.ts, v: self.val.clone() });
+            }
+            Msg::ReadDone { rid } => {
+                self.pending_readers.remove(&(from, rid));
+            }
+            Msg::State { rid, ts, v } => {
+                let me = self.ep.id();
+                if let Some(op) = &mut self.read_op {
+                    if op.rid == rid {
+                        op.reports.insert(from, (ts, v));
+                        if let Some(result) = decide_read(&op.reports, self.n, self.f) {
+                            let _ = op.reply.send(result);
+                            let done = op.rid;
+                            self.read_op = None;
+                            let _ = me;
+                            self.ep.broadcast(Msg::ReadDone { rid: done });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn start(&mut self, cmd: Cmd<V>) {
+        match cmd {
+            Cmd::Write(v, reply) => {
+                self.next_sn += 1;
+                let sn = self.next_sn;
+                self.write_op = Some((sn, HashSet::new(), reply));
+                self.ep.broadcast(Msg::Write { sn, v });
+            }
+            Cmd::Read(reply) => {
+                self.next_rid += 1;
+                let rid = self.next_rid;
+                self.read_op = Some(ReadOp { rid, reports: BTreeMap::new(), reply });
+                self.ep.broadcast(Msg::Read { rid });
+            }
+        }
+    }
+}
+
+/// The read decision rule (see module docs). Returns `Some((ts, v))` once a
+/// safe value is determined.
+fn decide_read<V: Value>(
+    reports: &BTreeMap<ProcessId, (u64, V)>,
+    n: usize,
+    f: usize,
+) -> Option<(u64, V)> {
+    // best = max sn with >= f+1 reporters at ts >= sn (0 is always genuine).
+    let mut best = 0u64;
+    for (ts, _) in reports.values() {
+        if *ts > best {
+            let support = reports.values().filter(|(t, _)| t >= ts).count();
+            if support >= f + 1 {
+                best = *ts;
+            }
+        }
+    }
+    // Decide once n−f nodes report exactly (best, v) for a single v.
+    let mut exact: HashMap<&V, usize> = HashMap::new();
+    for (ts, v) in reports.values() {
+        if *ts == best {
+            *exact.entry(v).or_insert(0) += 1;
+        }
+    }
+    exact.into_iter().find(|(_, c)| *c >= n - f).map(|(v, _)| (best, v.clone()))
+}
+
+fn node_loop<V: Value>(mut node: Node<V>, cmds: Receiver<Cmd<V>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        // Accept one new client command when idle.
+        if node.write_op.is_none() && node.read_op.is_none() {
+            if let Ok(cmd) = cmds.try_recv() {
+                node.start(cmd);
+            }
+        }
+        match node.ep.recv_timeout(Duration::from_micros(300)) {
+            Some((from, msg)) => node.handle(from, msg),
+            None => {}
+        }
+    }
+}
+
+/// Configuration of one emulated register.
+#[derive(Clone, Debug)]
+pub struct MpConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Resilience (`n > 3f` required for correctness).
+    pub f: usize,
+    /// The writing process (defaults to `p1`).
+    pub writer: ProcessId,
+    /// Network behavior.
+    pub net: NetConfig,
+    /// Declared-Byzantine nodes: they run no protocol; grab their endpoint
+    /// with [`MpRegister::byzantine_endpoint`] to attack.
+    pub byzantine: Vec<ProcessId>,
+}
+
+impl MpConfig {
+    /// `n` nodes, `f = ⌊(n−1)/3⌋`, writer `p1`, instant network, no faults.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        MpConfig {
+            n,
+            f: n.saturating_sub(1) / 3,
+            writer: ProcessId::new(1),
+            net: NetConfig::instant(),
+            byzantine: Vec::new(),
+        }
+    }
+}
+
+/// One emulated SWMR register over its own `n`-node network.
+///
+/// The writer is `p1`. Every process has a client handle to its co-located
+/// node; handles are thread-safe and serialize their process's operations.
+pub struct MpRegister<V: Value> {
+    writer: ProcessId,
+    cmd_tx: Vec<Option<Sender<Cmd<V>>>>,
+    byz_eps: parking_lot::Mutex<Vec<Option<Endpoint<Msg<V>>>>>,
+    stop: Arc<AtomicBool>,
+    threads: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    n: usize,
+}
+
+impl<V: Value> MpRegister<V> {
+    /// Spawns the node threads and returns the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f` — unlike the shared-memory registers there is no
+    /// meaningful "run it anyway" mode here, the emulation would be unsound.
+    #[must_use]
+    pub fn spawn(config: &MpConfig, v0: V) -> Self {
+        assert!(config.n > 3 * config.f, "the MP emulation requires n > 3f");
+        let eps = network::<Msg<V>>(config.n, config.net);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut cmd_tx = Vec::with_capacity(config.n);
+        let mut byz_eps: Vec<Option<Endpoint<Msg<V>>>> = (0..config.n).map(|_| None).collect();
+        let mut threads = Vec::new();
+        for ep in eps {
+            let pid = ep.id();
+            if config.byzantine.contains(&pid) {
+                byz_eps[pid.zero_based()] = Some(ep);
+                cmd_tx.push(None);
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            cmd_tx.push(Some(tx));
+            let node = Node {
+                ep,
+                n: config.n,
+                f: config.f,
+                writer: config.writer,
+                ts: 0,
+                val: v0.clone(),
+                validated: HashSet::new(),
+                echoed: HashMap::new(),
+                echo_from: HashMap::new(),
+                valid_from: HashMap::new(),
+                pending_readers: HashSet::new(),
+                next_sn: 0,
+                next_rid: 0,
+                write_op: None,
+                read_op: None,
+            };
+            let stop2 = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mp-node-{pid}"))
+                    .stack_size(256 * 1024)
+                    .spawn(move || node_loop(node, rx, stop2))
+                    .expect("spawn mp node"),
+            );
+        }
+        MpRegister {
+            writer: config.writer,
+            cmd_tx,
+            byz_eps: parking_lot::Mutex::new(byz_eps),
+            stop,
+            threads: parking_lot::Mutex::new(threads),
+            n: config.n,
+        }
+    }
+
+    /// A client handle for process `pid` (any correct process; `p1` may
+    /// write, everyone may read — single-writer is enforced by
+    /// [`MpClient::write`] panicking for non-writers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is declared Byzantine.
+    #[must_use]
+    pub fn client(&self, pid: ProcessId) -> MpClient<V> {
+        let tx = self.cmd_tx[pid.zero_based()]
+            .clone()
+            .unwrap_or_else(|| panic!("{pid} is Byzantine; use byzantine_endpoint"));
+        MpClient { pid, writer: self.writer, tx }
+    }
+
+    /// The raw network endpoint of a declared-Byzantine node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is correct or the endpoint was taken.
+    #[must_use]
+    pub fn byzantine_endpoint(&self, pid: ProcessId) -> Endpoint<Msg<V>> {
+        self.byz_eps.lock()[pid.zero_based()].take().expect("endpoint available")
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stops all node threads.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<V: Value> Drop for MpRegister<V> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<V: Value> std::fmt::Debug for MpRegister<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MpRegister(n = {})", self.n)
+    }
+}
+
+/// A process's client handle to an [`MpRegister`].
+#[derive(Clone)]
+pub struct MpClient<V> {
+    pid: ProcessId,
+    writer: ProcessId,
+    tx: Sender<Cmd<V>>,
+}
+
+impl<V: Value> MpClient<V> {
+    /// The owning process of this handle.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Writes `v` (blocks until `n − f` nodes validated the write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this handle does not belong to the writer `p1`.
+    pub fn write(&self, v: V) {
+        assert!(self.pid == self.writer, "{} does not own the write port", self.pid);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx.send(Cmd::Write(v, reply_tx)).expect("node alive");
+        let _ = reply_rx.recv();
+    }
+
+    /// Reads the register (blocks until the read decision rule fires).
+    /// Returns `(timestamp, value)`.
+    #[must_use]
+    pub fn read(&self) -> (u64, V) {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx.send(Cmd::Read(reply_tx)).expect("node alive");
+        reply_rx.recv().expect("node alive")
+    }
+}
+
+impl<V> std::fmt::Debug for MpClient<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MpClient({})", self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_read_initial_state() {
+        let mut reports = BTreeMap::new();
+        for i in 2..=4 {
+            reports.insert(ProcessId::new(i), (0u64, 0u8));
+        }
+        assert_eq!(decide_read(&reports, 4, 1), Some((0, 0)));
+    }
+
+    #[test]
+    fn decide_read_waits_for_exact_quorum() {
+        let mut reports = BTreeMap::new();
+        reports.insert(ProcessId::new(1), (5u64, 7u8));
+        reports.insert(ProcessId::new(2), (5u64, 7u8));
+        // best = 5 (2 >= f+1 supporters), but only 2 < n−f = 3 exact.
+        assert_eq!(decide_read(&reports, 4, 1), None);
+        reports.insert(ProcessId::new(3), (5u64, 7u8));
+        assert_eq!(decide_read(&reports, 4, 1), Some((5, 7)));
+    }
+
+    #[test]
+    fn decide_read_ignores_lone_fabricated_timestamps() {
+        let mut reports = BTreeMap::new();
+        reports.insert(ProcessId::new(1), (999u64, 66u8)); // byzantine
+        reports.insert(ProcessId::new(2), (0u64, 0u8));
+        reports.insert(ProcessId::new(3), (0u64, 0u8));
+        reports.insert(ProcessId::new(4), (0u64, 0u8));
+        // 999 has only 1 supporter < f+1 = 2 -> best stays 0.
+        assert_eq!(decide_read(&reports, 4, 1), Some((0, 0)));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let reg = MpRegister::spawn(&MpConfig::new(4), 0u32);
+        let w = reg.client(ProcessId::new(1));
+        let r = reg.client(ProcessId::new(3));
+        assert_eq!(r.read(), (0, 0));
+        w.write(7);
+        assert_eq!(r.read(), (1, 7));
+        w.write(9);
+        assert_eq!(r.read(), (2, 9));
+        reg.shutdown();
+    }
+
+    #[test]
+    fn reads_are_monotone_across_readers() {
+        let reg = MpRegister::spawn(&MpConfig::new(4), 0u32);
+        let w = reg.client(ProcessId::new(1));
+        let r3 = reg.client(ProcessId::new(3));
+        let r4 = reg.client(ProcessId::new(4));
+        w.write(5);
+        let (ts1, v1) = r3.read();
+        let (ts2, v2) = r4.read();
+        assert_eq!((ts1, v1), (1, 5));
+        assert!(ts2 >= ts1, "no new/old inversion");
+        assert_eq!(v2, 5);
+        reg.shutdown();
+    }
+
+    #[test]
+    fn tolerates_a_silent_byzantine_node() {
+        let mut config = MpConfig::new(4);
+        config.byzantine = vec![ProcessId::new(4)];
+        let reg = MpRegister::spawn(&config, 0u32);
+        let w = reg.client(ProcessId::new(1));
+        let r = reg.client(ProcessId::new(2));
+        w.write(3);
+        assert_eq!(r.read(), (1, 3));
+        reg.shutdown();
+    }
+
+    #[test]
+    fn tolerates_a_lying_byzantine_node() {
+        let mut config = MpConfig::new(4);
+        config.byzantine = vec![ProcessId::new(4)];
+        let reg = MpRegister::spawn(&config, 0u32);
+        let byz = reg.byzantine_endpoint(ProcessId::new(4));
+        // Fabricate a huge write nobody performed.
+        byz.broadcast(Msg::Echo { sn: 10_000, v: 66u32 });
+        byz.broadcast(Msg::Valid { sn: 10_000, v: 66u32 });
+        byz.broadcast(Msg::State { rid: 1, ts: 10_000, v: 66u32 });
+        let w = reg.client(ProcessId::new(1));
+        let r = reg.client(ProcessId::new(2));
+        w.write(3);
+        let (ts, v) = r.read();
+        assert_eq!(v, 3, "fabricated value must not surface");
+        assert_eq!(ts, 1);
+        reg.shutdown();
+    }
+
+    #[test]
+    fn works_with_jitter() {
+        let mut config = MpConfig::new(4);
+        config.net = NetConfig::jittery(Duration::from_micros(500), 3);
+        let reg = MpRegister::spawn(&config, 0u32);
+        let w = reg.client(ProcessId::new(1));
+        let r = reg.client(ProcessId::new(2));
+        for i in 1..=5u32 {
+            w.write(i);
+            let (ts, v) = r.read();
+            assert_eq!(ts, u64::from(i));
+            assert_eq!(v, i);
+        }
+        reg.shutdown();
+    }
+}

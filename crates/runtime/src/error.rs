@@ -1,0 +1,58 @@
+//! Error type shared by all operations on implemented objects.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors returned by operations on implemented objects.
+///
+/// The algorithms in the paper guarantee that every operation by a correct
+/// process terminates *in an infinite fair run*. Real test executions are
+/// finite, so operations can also end because the hosting [`System`] was shut
+/// down, or because a watchdog concluded that no progress is possible (which,
+/// for a correct implementation, indicates a harness bug rather than an
+/// algorithm bug).
+///
+/// [`System`]: crate::System
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The system was shut down while the operation was in progress.
+    Shutdown,
+    /// A deterministic-scheduler watchdog fired: no participant made a step
+    /// for the configured wall-clock budget.
+    Stalled,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Shutdown => write!(f, "system shut down during operation"),
+            Error::Stalled => write!(f, "scheduler watchdog: no step for the wall-clock budget"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let msgs = [Error::Shutdown.to_string(), Error::Stalled.to_string()];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,59 @@
+//! Register factories: where implemented objects get their base registers.
+//!
+//! The register algorithms of `byzreg-core` are written against
+//! [`WritePort`]/[`ReadPort`] and obtain their base registers through a
+//! [`RegisterFactory`]. The default [`LocalFactory`] produces in-process
+//! shared-memory cells; `byzreg-mp` provides a factory whose cells are
+//! message-passing emulations of SWMR registers — which makes the paper's
+//! claim that the algorithms "can also be implemented in message-passing
+//! systems with `n > 3f`" directly executable (experiment E6).
+
+use crate::pid::ProcessId;
+use crate::register::{swmr, ReadPort, WritePort};
+use crate::system::Env;
+use crate::Value;
+
+/// A source of base SWMR registers.
+pub trait RegisterFactory: Send + Sync {
+    /// Creates a register owned by `owner`, named `name`, initialized to
+    /// `init`, within the system described by `env`.
+    fn create<T: Value>(
+        &self,
+        env: &Env,
+        owner: ProcessId,
+        name: String,
+        init: T,
+    ) -> (WritePort<T>, ReadPort<T>);
+}
+
+/// The default factory: in-process lock-backed atomic cells.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalFactory;
+
+impl RegisterFactory for LocalFactory {
+    fn create<T: Value>(
+        &self,
+        env: &Env,
+        owner: ProcessId,
+        name: String,
+        init: T,
+    ) -> (WritePort<T>, ReadPort<T>) {
+        swmr(env.gate(), owner, name, init)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+
+    #[test]
+    fn local_factory_produces_working_registers() {
+        let sys = System::builder(4).build();
+        let (w, r) = LocalFactory.create(sys.env(), ProcessId::new(2), "X".into(), 5u8);
+        assert_eq!(r.read(), 5);
+        w.write(6);
+        assert_eq!(r.read(), 6);
+        assert_eq!(w.owner(), ProcessId::new(2));
+    }
+}

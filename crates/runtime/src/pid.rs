@@ -1,0 +1,198 @@
+//! Process identifiers.
+//!
+//! The paper indexes processes `p1 .. pn`, with `p1` conventionally playing
+//! the *writer* role of a SWMR register and `p2 .. pn` the *readers*. We keep
+//! the same 1-based convention so code can be compared to the pseudocode
+//! line by line.
+
+use std::fmt;
+
+/// Identifier of a process in a system of `n` processes.
+///
+/// Process ids are 1-based (`p1 ..= pn`), matching the paper's notation.
+///
+/// # Examples
+///
+/// ```
+/// use byzreg_runtime::ProcessId;
+///
+/// let p1 = ProcessId::new(1);
+/// assert_eq!(p1.index(), 1);
+/// assert_eq!(p1.to_string(), "p1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process id from a 1-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is zero; the paper's processes are `p1 ..= pn`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index >= 1, "process ids are 1-based (p1 ..= pn)");
+        ProcessId(index)
+    }
+
+    /// The 1-based index of this process (`p3` has index `3`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Zero-based index, convenient for `Vec` storage.
+    #[must_use]
+    pub fn zero_based(self) -> usize {
+        self.0 - 1
+    }
+
+    /// Returns `true` if this process is `p1`, the conventional writer.
+    #[must_use]
+    pub fn is_writer(self) -> bool {
+        self.0 == 1
+    }
+
+    /// Iterator over all process ids `p1 ..= pn`.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        (1..=n).map(ProcessId)
+    }
+
+    /// Iterator over the reader ids `p2 ..= pn`.
+    pub fn readers(n: usize) -> impl Iterator<Item = ProcessId> {
+        (2..=n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A mapping between the *role indices* of an algorithm (where the writer is
+/// conventionally role 1 and readers are roles `2..=n`) and the *actual*
+/// process ids of the hosting system.
+///
+/// The pseudocode of Algorithms 1–3 names the writer `p1`; applications such
+/// as broadcast install one register per sender, so any process must be able
+/// to play the writer role. A `Roles` permutation keeps the algorithm code
+/// written in role indices while the system sees actual ids.
+///
+/// # Examples
+///
+/// ```
+/// use byzreg_runtime::{ProcessId, Roles};
+///
+/// let roles = Roles::with_writer(4, ProcessId::new(3));
+/// assert_eq!(roles.actual(1), ProcessId::new(3)); // p3 plays the writer
+/// assert_eq!(roles.role_of(ProcessId::new(3)), 1);
+/// assert_eq!(roles.role_of(ProcessId::new(1)), 2); // p1 is a reader role
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Roles {
+    /// `actual[i]` is the process playing role `i + 1`.
+    actual: Vec<ProcessId>,
+}
+
+impl Roles {
+    /// The identity mapping: role `i` is process `p_i`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Roles { actual: ProcessId::all(n).collect() }
+    }
+
+    /// `writer` plays role 1; the remaining processes fill roles `2..=n` in
+    /// ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writer` is out of range.
+    #[must_use]
+    pub fn with_writer(n: usize, writer: ProcessId) -> Self {
+        assert!(writer.index() <= n, "{writer} out of range for n = {n}");
+        let mut actual = vec![writer];
+        actual.extend(ProcessId::all(n).filter(|p| *p != writer));
+        Roles { actual }
+    }
+
+    /// The process playing 1-based `role`.
+    #[must_use]
+    pub fn actual(&self, role: usize) -> ProcessId {
+        self.actual[role - 1]
+    }
+
+    /// The 1-based role played by `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not part of the mapping.
+    #[must_use]
+    pub fn role_of(&self, pid: ProcessId) -> usize {
+        self.actual
+            .iter()
+            .position(|p| *p == pid)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| panic!("{pid} not in role mapping"))
+    }
+
+    /// The process playing the writer role.
+    #[must_use]
+    pub fn writer(&self) -> ProcessId {
+        self.actual[0]
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.actual.len()
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(pid: ProcessId) -> usize {
+        pid.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_based_indexing() {
+        let p = ProcessId::new(5);
+        assert_eq!(p.index(), 5);
+        assert_eq!(p.zero_based(), 4);
+        assert!(!p.is_writer());
+        assert!(ProcessId::new(1).is_writer());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_is_rejected() {
+        let _ = ProcessId::new(0);
+    }
+
+    #[test]
+    fn all_and_readers_enumerate_expected_ranges() {
+        let all: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], ProcessId::new(1));
+        assert_eq!(all[3], ProcessId::new(4));
+
+        let readers: Vec<_> = ProcessId::readers(4).collect();
+        assert_eq!(readers.len(), 3);
+        assert!(readers.iter().all(|p| !p.is_writer()));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ProcessId::new(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId::new(2) < ProcessId::new(10));
+    }
+}

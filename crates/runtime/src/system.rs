@@ -1,0 +1,561 @@
+//! The system: `n` processes, at most `f` of them Byzantine, a step gate, a
+//! global clock, background help engines, and adversary actors.
+//!
+//! A [`System`] hosts any number of implemented objects (register instances,
+//! broadcast objects, …). Object constructors take the system's [`Env`] to
+//! create base registers and to attach per-process [`HelpTask`]s; the system
+//! multiplexes every correct process's help tasks onto one background thread
+//! per process, which matches the paper's model where each process
+//! continuously executes `Help()` "even when it is not currently performing
+//! any operation on the implemented register" (§5.2).
+//!
+//! Byzantine processes do **not** run help tasks; instead an adversary
+//! behavior can be installed with [`System::spawn_byzantine`], which may
+//! write arbitrary values — but only through write ports that the faulty
+//! process legitimately owns.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+use crate::gate::{self, FreeGate, LockstepGate, Participation, StepGate};
+use crate::history::Clock;
+use crate::pid::ProcessId;
+
+/// One unit of background helping work.
+///
+/// `tick` performs a *bounded* amount of work — typically one iteration of
+/// the algorithm's `Help()` while-loop — and returns. The engine calls it
+/// repeatedly until shutdown.
+pub trait HelpTask: Send + 'static {
+    /// Performs one iteration of the help procedure.
+    fn tick(&mut self);
+}
+
+impl<F: FnMut() + Send + 'static> HelpTask for F {
+    fn tick(&mut self) {
+        self()
+    }
+}
+
+/// An adversary behavior for a Byzantine process.
+///
+/// `tick` is called repeatedly (each call should perform a bounded number of
+/// steps); return `false` to stop the adversary thread.
+pub trait ByzantineBehavior: Send + 'static {
+    /// Performs one chunk of adversarial activity.
+    fn tick(&mut self) -> bool;
+}
+
+impl<F: FnMut() -> bool + Send + 'static> ByzantineBehavior for F {
+    fn tick(&mut self) -> bool {
+        self()
+    }
+}
+
+struct EnvInner {
+    n: usize,
+    f: usize,
+    gate: Arc<dyn StepGate>,
+    clock: Clock,
+    faulty: HashSet<ProcessId>,
+}
+
+/// A cheap handle to the system's shared environment.
+///
+/// Object constructors and operation handles keep an `Env` to create base
+/// registers, enter the step gate, stamp history events, and observe
+/// shutdown.
+#[derive(Clone)]
+pub struct Env {
+    inner: Arc<EnvInner>,
+}
+
+impl Env {
+    /// Number of processes `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Resilience parameter `f` (maximum number of tolerated Byzantine
+    /// processes; thresholds such as `n - f` are computed from it).
+    #[must_use]
+    pub fn f(&self) -> usize {
+        self.inner.f
+    }
+
+    /// The quorum size `n - f`.
+    #[must_use]
+    pub fn n_minus_f(&self) -> usize {
+        self.inner.n - self.inner.f
+    }
+
+    /// The step gate shared by all registers of this system.
+    #[must_use]
+    pub fn gate(&self) -> Arc<dyn StepGate> {
+        Arc::clone(&self.inner.gate)
+    }
+
+    /// The global history clock.
+    #[must_use]
+    pub fn clock(&self) -> Clock {
+        self.inner.clock.clone()
+    }
+
+    /// `true` if `pid` was declared Byzantine at build time.
+    #[must_use]
+    pub fn is_faulty(&self, pid: ProcessId) -> bool {
+        self.inner.faulty.contains(&pid)
+    }
+
+    /// The declared-faulty set.
+    #[must_use]
+    pub fn faulty(&self) -> Vec<ProcessId> {
+        let mut v: Vec<_> = self.inner.faulty.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The correct processes (all processes minus the declared-faulty set).
+    #[must_use]
+    pub fn correct(&self) -> Vec<ProcessId> {
+        ProcessId::all(self.inner.n).filter(|p| !self.is_faulty(*p)).collect()
+    }
+
+    /// `true` once system shutdown has been requested.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.gate.is_shutdown()
+    }
+
+    /// Returns `Err(Error::Shutdown)` if the system is shutting down.
+    ///
+    /// Blocking loops inside operations call this once per iteration so that
+    /// finite test executions can always be wound down.
+    pub fn check_running(&self) -> Result<()> {
+        if self.is_shutdown() {
+            Err(Error::Shutdown)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Runs `f` with the current thread participating in the step gate as
+    /// process `pid`. Nested calls on the same thread reuse the outer
+    /// participation.
+    pub fn run_as<R>(&self, pid: ProcessId, f: impl FnOnce() -> R) -> R {
+        let _participation = Participation::enter(self.gate(), pid);
+        f()
+    }
+
+    /// Validates `n > 3f` (the paper's fault-tolerance requirement for
+    /// Algorithms 1–3). Object constructors that require it call this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    pub fn require_n_gt_3f(&self) {
+        assert!(
+            self.inner.n > 3 * self.inner.f,
+            "this algorithm requires n > 3f (n = {}, f = {}); Theorem 31 proves \
+             it cannot be implemented otherwise",
+            self.inner.n,
+            self.inner.f
+        );
+    }
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Env")
+            .field("n", &self.inner.n)
+            .field("f", &self.inner.f)
+            .field("faulty", &self.faulty())
+            .finish()
+    }
+}
+
+/// Which scheduler a [`System`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Full-speed concurrency (benchmarks, examples).
+    Free,
+    /// Full-speed concurrency with seeded scheduling noise (stress tests).
+    Chaotic(u64),
+    /// Deterministic seeded lockstep (model-checking style tests).
+    Lockstep(u64),
+}
+
+/// Builder for [`System`].
+///
+/// # Examples
+///
+/// ```
+/// use byzreg_runtime::{System, Scheduling, ProcessId};
+///
+/// let system = System::builder(4)
+///     .scheduling(Scheduling::Lockstep(42))
+///     .byzantine(ProcessId::new(3))
+///     .build();
+/// assert_eq!(system.env().n(), 4);
+/// assert_eq!(system.env().f(), 1);
+/// assert!(system.env().is_faulty(ProcessId::new(3)));
+/// ```
+#[derive(Debug)]
+pub struct SystemBuilder {
+    n: usize,
+    f: Option<usize>,
+    scheduling: Scheduling,
+    faulty: HashSet<ProcessId>,
+}
+
+impl SystemBuilder {
+    /// Starts building a system of `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        SystemBuilder { n, f: None, scheduling: Scheduling::Free, faulty: HashSet::new() }
+    }
+
+    /// Sets the resilience parameter `f`. Defaults to `⌊(n − 1) / 3⌋`.
+    ///
+    /// Note that the builder deliberately does *not* reject `n <= 3f`; the
+    /// impossibility experiments (Theorem 29) run exactly in that regime.
+    #[must_use]
+    pub fn resilience(mut self, f: usize) -> Self {
+        self.f = Some(f);
+        self
+    }
+
+    /// Selects the scheduler.
+    #[must_use]
+    pub fn scheduling(mut self, s: Scheduling) -> Self {
+        self.scheduling = s;
+        self
+    }
+
+    /// Declares `pid` Byzantine: the system will not run help tasks for it,
+    /// and the declared-faulty set is what history checkers treat as
+    /// `correct`'s complement.
+    #[must_use]
+    pub fn byzantine(mut self, pid: ProcessId) -> Self {
+        assert!(pid.index() <= self.n, "{pid} out of range for n = {}", self.n);
+        self.faulty.insert(pid);
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn build(self) -> System {
+        assert!(self.n >= 2, "a SWMR register needs a writer and at least one reader");
+        let f = self.f.unwrap_or_else(|| self.n.saturating_sub(1) / 3);
+        let gate: Arc<dyn StepGate> = match self.scheduling {
+            Scheduling::Free => Arc::new(FreeGate::new()),
+            Scheduling::Chaotic(seed) => Arc::new(FreeGate::chaotic(seed)),
+            Scheduling::Lockstep(seed) => Arc::new(LockstepGate::new(seed)),
+        };
+        let env = Env {
+            inner: Arc::new(EnvInner {
+                n: self.n,
+                f,
+                gate,
+                clock: Clock::new(),
+                faulty: self.faulty,
+            }),
+        };
+        System {
+            env,
+            engines: Mutex::new((0..self.n).map(|_| None).collect()),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+type TaskList = Arc<Mutex<Vec<Box<dyn HelpTask>>>>;
+
+struct Engine {
+    tasks: TaskList,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A running system of `n` processes.
+///
+/// Dropping the system requests shutdown and joins all background threads.
+pub struct System {
+    env: Env,
+    engines: Mutex<Vec<Option<Engine>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl System {
+    /// Starts building a system of `n` processes.
+    #[must_use]
+    pub fn builder(n: usize) -> SystemBuilder {
+        SystemBuilder::new(n)
+    }
+
+    /// The shared environment handle.
+    #[must_use]
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Attaches a background help task to process `pid`.
+    ///
+    /// Tasks attached to a declared-Byzantine process are silently dropped:
+    /// faulty processes do not execute the protocol (an adversary may be
+    /// installed instead with [`System::spawn_byzantine`]).
+    pub fn add_help_task(&self, pid: ProcessId, task: Box<dyn HelpTask>) {
+        if self.env.is_faulty(pid) {
+            return;
+        }
+        let mut engines = self.engines.lock();
+        let slot = &mut engines[pid.zero_based()];
+        match slot {
+            Some(engine) => engine.tasks.lock().push(task),
+            None => {
+                let tasks: TaskList = Arc::new(Mutex::new(vec![task]));
+                let env = self.env.clone();
+                let loop_tasks = Arc::clone(&tasks);
+                let handle = std::thread::Builder::new()
+                    .name(format!("help-{pid}"))
+                    .spawn(move || help_engine_loop(env, pid, loop_tasks))
+                    .expect("spawn help engine");
+                *slot = Some(Engine { tasks, handle: Some(handle) });
+            }
+        }
+    }
+
+    /// Spawns an adversary thread acting as the Byzantine process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not declared Byzantine at build time — correct
+    /// processes may not behave adversarially.
+    pub fn spawn_byzantine(&self, pid: ProcessId, mut behavior: impl ByzantineBehavior) {
+        assert!(
+            self.env.is_faulty(pid),
+            "{pid} is declared correct; declare it with SystemBuilder::byzantine first"
+        );
+        let env = self.env.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("byz-{pid}"))
+            .spawn(move || {
+                let _p = Participation::enter(env.gate(), pid);
+                while !env.is_shutdown() {
+                    if !behavior.tick() {
+                        break;
+                    }
+                    gate::idle_step(&env.gate());
+                }
+            })
+            .expect("spawn byzantine actor");
+        self.threads.lock().push(handle);
+    }
+
+    /// Spawns an auxiliary participant thread (used by tests and drivers to
+    /// run concurrent operations of a *correct* process).
+    pub fn spawn(&self, pid: ProcessId, f: impl FnOnce() + Send + 'static) {
+        let env = self.env.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("proc-{pid}"))
+            .spawn(move || {
+                env.run_as(pid, f);
+            })
+            .expect("spawn process thread");
+        self.threads.lock().push(handle);
+    }
+
+    /// Requests shutdown and joins every background thread.
+    ///
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        self.env.gate().request_shutdown();
+        let mut engines = self.engines.lock();
+        for slot in engines.iter_mut() {
+            if let Some(engine) = slot {
+                if let Some(h) = engine.handle.take() {
+                    let _ = h.join();
+                }
+            }
+        }
+        drop(engines);
+        let mut threads = self.threads.lock();
+        for h in threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for System {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System").field("env", &self.env).finish()
+    }
+}
+
+fn help_engine_loop(env: Env, pid: ProcessId, tasks: TaskList) {
+    let _participation = Participation::enter(env.gate(), pid);
+    while !env.is_shutdown() {
+        // Tick every attached task once per engine round. New tasks may be
+        // attached concurrently; index-based access keeps the lock windows
+        // short (a task must not be ticked while the list lock is held, since
+        // ticks perform gated steps that can block).
+        let count = tasks.lock().len();
+        for i in 0..count {
+            if env.is_shutdown() {
+                return;
+            }
+            // Temporarily take the task out so other engine users (none
+            // today, but attach is concurrent) are not blocked.
+            let mut task = {
+                let mut guard = tasks.lock();
+                std::mem::replace(&mut guard[i], Box::new(|| {}))
+            };
+            task.tick();
+            tasks.lock()[i] = task;
+        }
+        // Park at the gate once per round, so idle engines keep the lockstep
+        // dispatch condition satisfiable and busy engines yield fairly.
+        gate::idle_step(&env.gate());
+        // Under free scheduling the engine would otherwise monopolize a core.
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn builder_defaults_f_to_floor_n_minus_1_over_3() {
+        assert_eq!(System::builder(4).build().env().f(), 1);
+        assert_eq!(System::builder(7).build().env().f(), 2);
+        assert_eq!(System::builder(3).build().env().f(), 0);
+        assert_eq!(System::builder(10).build().env().f(), 3);
+    }
+
+    #[test]
+    fn quorums_match_the_paper() {
+        let s = System::builder(7).build();
+        assert_eq!(s.env().n_minus_f(), 5);
+        assert_eq!(s.env().f() + 1, 3);
+    }
+
+    #[test]
+    fn help_tasks_run_until_shutdown() {
+        let s = System::builder(4).build();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        s.add_help_task(
+            ProcessId::new(2),
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while count.load(Ordering::SeqCst) < 10 {
+            assert!(std::time::Instant::now() < deadline, "help task did not run");
+            std::thread::yield_now();
+        }
+        s.shutdown();
+        let after = count.load(Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(count.load(Ordering::SeqCst), after, "tasks must stop after shutdown");
+    }
+
+    #[test]
+    fn byzantine_processes_get_no_help_tasks() {
+        let s = System::builder(4).byzantine(ProcessId::new(2)).build();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        s.add_help_task(
+            ProcessId::new(2),
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared correct")]
+    fn correct_processes_cannot_be_adversaries() {
+        let s = System::builder(4).build();
+        s.spawn_byzantine(ProcessId::new(2), || true);
+    }
+
+    #[test]
+    fn byzantine_behavior_can_stop_itself() {
+        let s = System::builder(4).byzantine(ProcessId::new(3)).build();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        s.spawn_byzantine(ProcessId::new(3), move || c.fetch_add(1, Ordering::SeqCst) < 4);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while count.load(Ordering::SeqCst) < 5 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+        s.shutdown();
+    }
+
+    #[test]
+    fn lockstep_system_runs_help_and_ops_together() {
+        let s = System::builder(4).scheduling(Scheduling::Lockstep(5)).build();
+        let env = s.env().clone();
+        let (w, r) = crate::register::swmr(env.gate(), ProcessId::new(1), "R", 0u32);
+        // Help task of p2 copies R into a counter.
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let r2 = r.clone();
+        s.add_help_task(
+            ProcessId::new(2),
+            Box::new(move || {
+                seen2.store(r2.read() as usize, Ordering::SeqCst);
+            }),
+        );
+        env.run_as(ProcessId::new(1), || {
+            w.write(9);
+            // Spin (as a participant) until the helper observes the write.
+            while seen.load(Ordering::SeqCst) != 9 {
+                let _ = r.read();
+                if env.is_shutdown() {
+                    break;
+                }
+            }
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 9);
+        s.shutdown();
+    }
+
+    #[test]
+    fn check_running_reports_shutdown() {
+        let s = System::builder(4).build();
+        assert!(s.env().check_running().is_ok());
+        s.shutdown();
+        assert_eq!(s.env().check_running(), Err(Error::Shutdown));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn require_n_gt_3f_rejects_small_systems() {
+        let s = System::builder(3).resilience(1).build();
+        s.env().require_n_gt_3f();
+    }
+}

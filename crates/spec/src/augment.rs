@@ -1,0 +1,405 @@
+//! Byzantine linearizability via writer-operation augmentation.
+//!
+//! Definition 7: a history `H` is *Byzantine linearizable* iff there is a
+//! history `H'` with `H'|correct = H|correct` that is linearizable. When the
+//! register's writer is **correct**, its operations are part of `H|correct`
+//! and plain linearizability checking suffices. When the writer is
+//! **Byzantine**, the checker must *exhibit* suitable writer operations.
+//!
+//! This module implements exactly the constructions used in the paper's
+//! proofs:
+//!
+//! * [`augment_verifiable`] — Definition 78: for every value `v` with a
+//!   `Verify(v) → true`, add a successful `Sign(v)` inside the window
+//!   `(t^v_0, t^v_1)` (Definition 47), and add a `Write(v)` immediately
+//!   before every `Read` returning `v` and every added `Sign(v)`.
+//! * [`augment_authenticated`] — Definition 143: add a `Write(v)` with
+//!   response inside `(t^v_0, t^v_1)` for every verified `v ≠ v0`, and a
+//!   `Write(v)` just before the response of every `Read` returning `v`.
+//! * [`augment_sticky`] — Appendix C: if any correct read returned `v ≠ ⊥`,
+//!   add a single `Write(v)` inside `(t_0, t_1)` (Definition 186).
+//!
+//! If a construction window is empty the paper's lemmas (48, 140, 187) are
+//! violated — the history provably has a relay/uniqueness defect — and the
+//! check reports "not linearizable" immediately.
+//!
+//! Timestamps are scaled by [`SCALE`] so synthesized operations fit in the
+//! gaps between recorded events; all recorded events keep their relative
+//! order. The synthesized writer operations are made pairwise sequential
+//! (the writer is a single process), and the combined history is passed to
+//! the DFS checker in [`crate::linearize`].
+
+use byzreg_runtime::{CompleteOp, OpToken, ProcessId, Value};
+
+use crate::linearize::{check, Outcome};
+use crate::registers::{
+    AuthInv, AuthResp, AuthenticatedSpec, StickyInv, StickyResp, StickySpec, VerInv, VerResp,
+    VerifiableSpec,
+};
+
+/// Factor by which recorded timestamps are multiplied to make room for
+/// synthesized operations.
+pub const SCALE: u64 = 1_000;
+
+fn scale_ops<I: Clone, R: Clone>(ops: &[CompleteOp<I, R>]) -> Vec<CompleteOp<I, R>> {
+    ops.iter()
+        .map(|o| CompleteOp {
+            op: o.op,
+            pid: o.pid,
+            invoked_at: o.invoked_at * SCALE,
+            responded_at: o.responded_at * SCALE,
+            invocation: o.invocation.clone(),
+            response: o.response.clone(),
+        })
+        .collect()
+}
+
+fn max_time<I, R>(ops: &[CompleteOp<I, R>]) -> u64 {
+    ops.iter().map(|o| o.responded_at).max().unwrap_or(0)
+}
+
+/// Assigns pairwise-disjoint unit intervals to synthesized writer operations
+/// anchored at target times, preserving the anchor order. Each anchored op
+/// receives the interval `[t, t+1]` with `t` as close below its target as
+/// the already-placed ops allow.
+fn place_sequentially<I, R>(
+    mut anchors: Vec<(u64 /* target (exclusive upper bound) */, I, R)>,
+) -> Vec<CompleteOp<I, R>> {
+    // Place later anchors first so each op packs tightly under its target.
+    anchors.sort_by_key(|(t, _, _)| *t);
+    let mut placed: Vec<(u64, I, R)> = Vec::with_capacity(anchors.len());
+    let mut next_free_below = u64::MAX;
+    for (target, inv, resp) in anchors.into_iter().rev() {
+        let start = target.saturating_sub(3).min(next_free_below.saturating_sub(3));
+        placed.push((start, inv, resp));
+        next_free_below = start;
+    }
+    placed
+        .into_iter()
+        .enumerate()
+        .map(|(i, (start, inv, resp))| CompleteOp {
+            op: OpToken::synthetic(u64::MAX - i as u64),
+            pid: ProcessId::new(1),
+            invoked_at: start,
+            responded_at: start + 1,
+            invocation: inv,
+            response: resp,
+        })
+        .collect()
+}
+
+/// Window `(t^v_0, t^v_1)` per Definition 47/139: `t0` = max invocation time
+/// of a failed certification of `v`, `t1` = min response time of a successful
+/// one. Returns `None` if the window is empty (Lemma 48/140 violated).
+fn window(t0: Option<u64>, t1: Option<u64>, horizon: u64) -> Option<(u64, u64)> {
+    let t0 = t0.unwrap_or(0);
+    let t1 = t1.unwrap_or(horizon);
+    (t1 > t0).then_some((t0, t1))
+}
+
+// ---------------------------------------------------------------------------
+// Verifiable register
+// ---------------------------------------------------------------------------
+
+/// Checks Byzantine linearizability of a **faulty-writer** verifiable
+/// register history (readers' operations only), per Definition 78.
+pub fn check_byzantine_verifiable<V: Value>(
+    v0: &V,
+    reader_ops: &[CompleteOp<VerInv<V>, VerResp<V>>],
+) -> Outcome {
+    let ops = scale_ops(reader_ops);
+    let horizon = max_time(&ops) + 2 * SCALE;
+    let mut anchors: Vec<(u64, VerInv<V>, VerResp<V>)> = Vec::new();
+
+    // Values with at least one true Verify.
+    let mut verified: Vec<&V> = Vec::new();
+    for o in &ops {
+        if let (VerInv::Verify(v), VerResp::VerifyResult(true)) = (&o.invocation, &o.response) {
+            if !verified.contains(&v) {
+                verified.push(v);
+            }
+        }
+    }
+
+    // Step 2 (Def. 78): one successful Sign(v) inside (t^v_0, t^v_1), with a
+    // Write(v) immediately before it (Step 3).
+    for v in verified {
+        let t0 = ops
+            .iter()
+            .filter(|o| {
+                matches!((&o.invocation, &o.response),
+                    (VerInv::Verify(w), VerResp::VerifyResult(false)) if w == v)
+            })
+            .map(|o| o.invoked_at)
+            .max();
+        let t1 = ops
+            .iter()
+            .filter(|o| {
+                matches!((&o.invocation, &o.response),
+                    (VerInv::Verify(w), VerResp::VerifyResult(true)) if w == v)
+            })
+            .map(|o| o.responded_at)
+            .min();
+        let Some((lo, hi)) = window(t0, t1, horizon) else {
+            // Empty window: Lemma 48 is violated; not Byzantine linearizable
+            // via the canonical construction.
+            return Outcome::NotLinearizable;
+        };
+        let sign_at = lo + (hi - lo) / 2;
+        anchors.push((sign_at, VerInv::Sign(v.clone()), VerResp::SignResult(true)));
+        anchors.push((sign_at.saturating_sub(3), VerInv::Write(v.clone()), VerResp::Done));
+    }
+
+    // Step 3 (Def. 78): a Write(v) immediately before every Read returning v.
+    for o in &ops {
+        if let (VerInv::Read, VerResp::ReadValue(v)) = (&o.invocation, &o.response) {
+            anchors.push((o.invoked_at, VerInv::Write(v.clone()), VerResp::Done));
+        }
+    }
+
+    let mut all = ops;
+    all.extend(place_sequentially(anchors));
+    check(&VerifiableSpec { v0: v0.clone() }, &all)
+}
+
+// ---------------------------------------------------------------------------
+// Authenticated register
+// ---------------------------------------------------------------------------
+
+/// Checks Byzantine linearizability of a **faulty-writer** authenticated
+/// register history, per Definition 143.
+pub fn check_byzantine_authenticated<V: Value>(
+    v0: &V,
+    reader_ops: &[CompleteOp<AuthInv<V>, AuthResp<V>>],
+) -> Outcome {
+    let ops = scale_ops(reader_ops);
+    let horizon = max_time(&ops) + 2 * SCALE;
+    let mut anchors: Vec<(u64, AuthInv<V>, AuthResp<V>)> = Vec::new();
+
+    let window_for = |v: &V| {
+        let t0 = ops
+            .iter()
+            .filter(|o| {
+                matches!((&o.invocation, &o.response),
+                    (AuthInv::Verify(w), AuthResp::VerifyResult(false)) if w == v)
+            })
+            .map(|o| o.invoked_at)
+            .max();
+        let t1 = ops
+            .iter()
+            .filter(|o| {
+                matches!((&o.invocation, &o.response),
+                    (AuthInv::Verify(w), AuthResp::VerifyResult(true)) if w == v)
+            })
+            .map(|o| o.responded_at)
+            .min();
+        window(t0, t1, horizon)
+    };
+
+    // Step 2 (Def. 143): Write(v) with response inside (t^v_0, t^v_1) for
+    // every v ≠ v0 with a true Verify. (v0 is "deemed signed": the spec
+    // accepts Verify(v0) -> true with no write.)
+    let mut verified: Vec<&V> = Vec::new();
+    for o in &ops {
+        if let (AuthInv::Verify(v), AuthResp::VerifyResult(true)) = (&o.invocation, &o.response) {
+            if v != v0 && !verified.contains(&v) {
+                verified.push(v);
+            }
+        }
+    }
+    for v in verified {
+        let Some((lo, hi)) = window_for(v) else {
+            return Outcome::NotLinearizable; // Lemma 140 violated.
+        };
+        anchors.push((lo + (hi - lo) / 2, AuthInv::Write(v.clone()), AuthResp::Done));
+    }
+
+    // Step 3 (Def. 143): Write(v) just before the response of each Read
+    // returning v, with response after t^v_0 (Lemma 142 guarantees the
+    // window is non-empty for honest histories; if it is empty here the
+    // construction fails and the DFS would fail anyway).
+    for o in &ops {
+        if let (AuthInv::Read, AuthResp::ReadValue(v)) = (&o.invocation, &o.response) {
+            anchors.push((o.responded_at, AuthInv::Write(v.clone()), AuthResp::Done));
+        }
+    }
+
+    let mut all = ops;
+    all.extend(place_sequentially(anchors));
+    check(&AuthenticatedSpec { v0: v0.clone() }, &all)
+}
+
+// ---------------------------------------------------------------------------
+// Sticky register
+// ---------------------------------------------------------------------------
+
+/// Checks Byzantine linearizability of a **faulty-writer** sticky register
+/// history, per the Appendix C construction (Definition 186).
+pub fn check_byzantine_sticky<V: Value>(
+    reader_ops: &[CompleteOp<StickyInv<V>, StickyResp<V>>],
+) -> Outcome {
+    let ops = scale_ops(reader_ops);
+    let horizon = max_time(&ops) + 2 * SCALE;
+
+    // The value returned by non-⊥ reads; all must agree (Corollary 182).
+    let mut value: Option<&V> = None;
+    for o in &ops {
+        if let (StickyInv::Read, StickyResp::ReadValue(Some(v))) = (&o.invocation, &o.response) {
+            match value {
+                None => value = Some(v),
+                Some(w) if w == v => {}
+                Some(_) => return Outcome::NotLinearizable,
+            }
+        }
+    }
+
+    let mut all = ops.clone();
+    if let Some(v) = value {
+        // t0 = max invocation of a ⊥-read, t1 = min response of a v-read.
+        let t0 = ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    (&o.invocation, &o.response),
+                    (StickyInv::Read, StickyResp::ReadValue(None))
+                )
+            })
+            .map(|o| o.invoked_at)
+            .max();
+        let t1 = ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    (&o.invocation, &o.response),
+                    (StickyInv::Read, StickyResp::ReadValue(Some(_)))
+                )
+            })
+            .map(|o| o.responded_at)
+            .min();
+        let Some((lo, hi)) = window(t0, t1, horizon) else {
+            return Outcome::NotLinearizable; // Lemma 187 violated.
+        };
+        let at = lo + (hi - lo) / 2;
+        all.extend(place_sequentially(vec![(
+            at,
+            StickyInv::Write(v.clone()),
+            StickyResp::Done,
+        )]));
+    }
+    check(&StickySpec::<V>::new(), &all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op<I, R>(pid: usize, t0: u64, t1: u64, inv: I, resp: R) -> CompleteOp<I, R> {
+        CompleteOp {
+            op: OpToken::default(),
+            pid: ProcessId::new(pid),
+            invoked_at: t0,
+            responded_at: t1,
+            invocation: inv,
+            response: resp,
+        }
+    }
+
+    #[test]
+    fn verifiable_faulty_writer_consistent_readers_linearize() {
+        // Readers saw: Verify(7) false, then Verify(7) true, then a Read of 7.
+        let ops = vec![
+            op(2, 1, 2, VerInv::Verify(7u32), VerResp::VerifyResult(false)),
+            op(3, 3, 4, VerInv::Verify(7u32), VerResp::VerifyResult(true)),
+            op(2, 5, 6, VerInv::Read, VerResp::ReadValue(7u32)),
+            op(3, 7, 8, VerInv::Verify(7u32), VerResp::VerifyResult(true)),
+        ];
+        assert!(check_byzantine_verifiable(&0u32, &ops).is_linearizable());
+    }
+
+    #[test]
+    fn verifiable_relay_violation_not_linearizable() {
+        let ops = vec![
+            op(2, 1, 2, VerInv::Verify(7u32), VerResp::VerifyResult(true)),
+            op(3, 3, 4, VerInv::Verify(7u32), VerResp::VerifyResult(false)),
+        ];
+        assert_eq!(check_byzantine_verifiable(&0u32, &ops), Outcome::NotLinearizable);
+    }
+
+    #[test]
+    fn verifiable_reads_of_unverified_values_are_fine() {
+        // A Byzantine writer may write (but never sign) arbitrary values;
+        // readers can observe them.
+        let ops = vec![
+            op(2, 1, 2, VerInv::Read, VerResp::ReadValue(3u32)),
+            op(3, 3, 4, VerInv::Read, VerResp::ReadValue(9u32)),
+            op(2, 5, 6, VerInv::Verify(3u32), VerResp::VerifyResult(false)),
+        ];
+        assert!(check_byzantine_verifiable(&0u32, &ops).is_linearizable());
+    }
+
+    #[test]
+    fn authenticated_faulty_writer_consistent_history_linearizes() {
+        let ops = vec![
+            op(2, 1, 2, AuthInv::Verify(5u32), AuthResp::VerifyResult(false)),
+            op(3, 3, 4, AuthInv::Verify(5u32), AuthResp::VerifyResult(true)),
+            op(2, 5, 6, AuthInv::Read, AuthResp::ReadValue(5u32)),
+        ];
+        assert!(check_byzantine_authenticated(&0u32, &ops).is_linearizable());
+    }
+
+    #[test]
+    fn authenticated_obs19_violation_rejected() {
+        // Read returned 5 but a later Verify(5) said false.
+        let ops = vec![
+            op(2, 1, 2, AuthInv::Read, AuthResp::ReadValue(5u32)),
+            op(3, 3, 4, AuthInv::Verify(5u32), AuthResp::VerifyResult(false)),
+        ];
+        assert_eq!(check_byzantine_authenticated(&0u32, &ops), Outcome::NotLinearizable);
+    }
+
+    #[test]
+    fn authenticated_v0_needs_no_writes() {
+        let ops = vec![
+            op(2, 1, 2, AuthInv::Verify(0u32), AuthResp::VerifyResult(true)),
+            op(3, 3, 4, AuthInv::Read, AuthResp::ReadValue(0u32)),
+        ];
+        assert!(check_byzantine_authenticated(&0u32, &ops).is_linearizable());
+    }
+
+    #[test]
+    fn sticky_agreeing_reads_linearize() {
+        let ops = vec![
+            op(2, 1, 2, StickyInv::Read, StickyResp::ReadValue(None)),
+            op(3, 3, 4, StickyInv::Read, StickyResp::ReadValue(Some(9u32))),
+            op(2, 5, 6, StickyInv::Read, StickyResp::ReadValue(Some(9u32))),
+        ];
+        assert!(check_byzantine_sticky(&ops).is_linearizable());
+    }
+
+    #[test]
+    fn sticky_disagreeing_reads_rejected() {
+        let ops = vec![
+            op(2, 1, 2, StickyInv::Read, StickyResp::ReadValue(Some(1u32))),
+            op(3, 3, 4, StickyInv::Read, StickyResp::ReadValue(Some(2u32))),
+        ];
+        assert_eq!(check_byzantine_sticky(&ops), Outcome::NotLinearizable);
+    }
+
+    #[test]
+    fn sticky_bottom_after_value_rejected() {
+        let ops = vec![
+            op(2, 1, 2, StickyInv::Read, StickyResp::ReadValue(Some(1u32))),
+            op(3, 3, 4, StickyInv::Read, StickyResp::ReadValue(None)),
+        ];
+        assert_eq!(check_byzantine_sticky(&ops), Outcome::NotLinearizable);
+    }
+
+    #[test]
+    fn sticky_all_bottom_is_trivially_fine() {
+        let ops = vec![
+            op(2, 1, 2, StickyInv::Read, StickyResp::ReadValue(None::<u32>)),
+            op(3, 3, 4, StickyInv::Read, StickyResp::ReadValue(None)),
+        ];
+        assert!(check_byzantine_sticky(&ops).is_linearizable());
+    }
+}

@@ -1,0 +1,45 @@
+//! # byzreg-spec
+//!
+//! Specifications and checkers for the `byzreg` reproduction of Hu & Toueg,
+//! *"You can lie but not deny"* (PODC 2025):
+//!
+//! * [`sequential`] — sequential specifications as state machines (§3.2),
+//! * [`registers`] — the specs of Definitions 10, 15, 21, and 26,
+//! * [`linearize`] — a Wing–Gong linearizability checker (Definition 4),
+//! * [`augment`] — Byzantine linearizability for faulty-writer histories via
+//!   the paper's writer-operation constructions (Definitions 78 and 143),
+//! * [`monitors`] — linear-time property monitors for every Observation
+//!   (11–13, 16–19, 22–24) and Lemma 28.
+//!
+//! # Example
+//!
+//! ```
+//! use byzreg_spec::linearize::{check, Outcome};
+//! use byzreg_spec::registers::{SwmrSpec, RegInv, RegResp};
+//! use byzreg_runtime::{CompleteOp, OpToken, ProcessId};
+//!
+//! let spec = SwmrSpec { v0: 0u8 };
+//! let ops = vec![CompleteOp {
+//!     op: OpToken::default(),
+//!     pid: ProcessId::new(2),
+//!     invoked_at: 1,
+//!     responded_at: 2,
+//!     invocation: RegInv::Read,
+//!     response: RegResp::ReadValue(0),
+//! }];
+//! assert!(check(&spec, &ops).is_linearizable());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod linearize;
+pub mod monitors;
+pub mod registers;
+pub mod sequential;
+
+pub use augment::{check_byzantine_authenticated, check_byzantine_sticky, check_byzantine_verifiable};
+pub use linearize::{check, Outcome};
+pub use monitors::{MonitorResult, Violation};
+pub use sequential::SequentialSpec;

@@ -1,0 +1,569 @@
+//! Linear-time property monitors for the paper's Observations.
+//!
+//! The full linearizability checker ([`crate::linearize`]) is exponential in
+//! the worst case and limited to small histories. These monitors check, in
+//! `O(ops²)` or better, the *derived properties* the paper states for each
+//! register type — including the properties that hold **even when the writer
+//! is Byzantine** (relay, uniqueness), which makes them the workhorse oracle
+//! for randomized adversarial testing:
+//!
+//! | Register | Observation | Monitor |
+//! |----------|-------------|---------|
+//! | verifiable | 11 validity | [`verifiable_monitor`] (correct writer) |
+//! | verifiable | 12 unforgeability | [`verifiable_monitor`] (correct writer) |
+//! | verifiable | 13 relay | [`verifiable_relay`] (any writer) |
+//! | authenticated | 16–17 | [`authenticated_monitor`] (correct writer) |
+//! | authenticated | 18 relay, 19 read-implies-verify | [`authenticated_relay`] (any writer) |
+//! | sticky | 22–23 | [`sticky_monitor`] (correct writer) |
+//! | sticky | 24 uniqueness | [`sticky_uniqueness`] (any writer) |
+//! | test-or-set | Lemma 28(1–3) | [`test_or_set_monitor`] |
+
+use std::fmt;
+
+use byzreg_runtime::CompleteOp;
+use byzreg_runtime::Value;
+
+use crate::registers::{
+    AuthInv, AuthResp, StickyInv, StickyResp, TosInv, TosResp, VerInv, VerResp,
+};
+
+/// A property violation, with a human-readable description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The property that failed (e.g. `"Obs. 13 (relay)"`).
+    pub property: &'static str,
+    /// What happened.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated: {}", self.property, self.detail)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Result alias for monitors.
+pub type MonitorResult = Result<(), Violation>;
+
+fn violation(property: &'static str, detail: String) -> MonitorResult {
+    Err(Violation { property, detail })
+}
+
+// ---------------------------------------------------------------------------
+// Verifiable register
+// ---------------------------------------------------------------------------
+
+/// Obs. 13 (relay): if a `Verify(v)` returns `true`, every `Verify(v)`
+/// invoked after its response also returns `true`. Holds for **any** writer.
+pub fn verifiable_relay<V: Value>(ops: &[CompleteOp<VerInv<V>, VerResp<V>>]) -> MonitorResult {
+    for a in ops {
+        let (VerInv::Verify(v), VerResp::VerifyResult(true)) = (&a.invocation, &a.response) else {
+            continue;
+        };
+        for b in ops {
+            if let (VerInv::Verify(w), VerResp::VerifyResult(false)) = (&b.invocation, &b.response)
+            {
+                if w == v && a.responded_at < b.invoked_at {
+                    return violation(
+                        "Obs. 13 (relay)",
+                        format!(
+                            "{}'s Verify({v:?}) -> true at t={} but {}'s later Verify (t={}) -> false",
+                            a.pid, a.responded_at, b.pid, b.invoked_at
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Obs. 11 (validity) + Obs. 12 (unforgeability) + write/read sanity, for
+/// histories whose writer is **correct** (its ops are in the history).
+pub fn verifiable_monitor<V: Value>(ops: &[CompleteOp<VerInv<V>, VerResp<V>>]) -> MonitorResult {
+    verifiable_relay(ops)?;
+    for a in ops {
+        match (&a.invocation, &a.response) {
+            // Obs. 11: successful Sign(v) => all later Verify(v) true.
+            (VerInv::Sign(v), VerResp::SignResult(true)) => {
+                for b in ops {
+                    if let (VerInv::Verify(w), VerResp::VerifyResult(false)) =
+                        (&b.invocation, &b.response)
+                    {
+                        if w == v && a.responded_at < b.invoked_at {
+                            return violation(
+                                "Obs. 11 (validity)",
+                                format!(
+                                    "Sign({v:?}) succeeded at t={} but {}'s later Verify -> false",
+                                    a.responded_at, b.pid
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            // Obs. 12: Verify(v) -> true => some Sign(v) -> success was
+            // invoked before the Verify responded (Corollary 61: precedes or
+            // concurrent).
+            (VerInv::Verify(v), VerResp::VerifyResult(true)) => {
+                let justified = ops.iter().any(|s| {
+                    matches!(
+                        (&s.invocation, &s.response),
+                        (VerInv::Sign(w), VerResp::SignResult(true)) if w == v
+                    ) && s.invoked_at < a.responded_at
+                });
+                if !justified {
+                    return violation(
+                        "Obs. 12 (unforgeability)",
+                        format!(
+                            "{}'s Verify({v:?}) -> true with no successful Sign({v:?}) invoked before t={}",
+                            a.pid, a.responded_at
+                        ),
+                    );
+                }
+            }
+            // Definition 10: Sign(v) succeeds iff a Write(v) precedes it.
+            (VerInv::Sign(v), VerResp::SignResult(false)) => {
+                let written_before = ops.iter().any(|w| {
+                    matches!((&w.invocation, &w.response), (VerInv::Write(x), VerResp::Done) if x == v)
+                        && w.responded_at < a.invoked_at
+                });
+                if written_before {
+                    return violation(
+                        "Def. 10 (sign)",
+                        format!("Sign({v:?}) failed although Write({v:?}) preceded it"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Authenticated register
+// ---------------------------------------------------------------------------
+
+/// Obs. 18 (relay) + Obs. 19 (a `Read` returning `v` implies later
+/// `Verify(v)` return `true`). Holds for **any** writer.
+pub fn authenticated_relay<V: Value>(
+    ops: &[CompleteOp<AuthInv<V>, AuthResp<V>>],
+) -> MonitorResult {
+    for a in ops {
+        let verified_value: Option<&V> = match (&a.invocation, &a.response) {
+            (AuthInv::Verify(v), AuthResp::VerifyResult(true)) => Some(v),
+            // Obs. 19: a Read that returns v certifies v just like a Verify.
+            (AuthInv::Read, AuthResp::ReadValue(v)) => Some(v),
+            _ => None,
+        };
+        let Some(v) = verified_value else { continue };
+        for b in ops {
+            if let (AuthInv::Verify(w), AuthResp::VerifyResult(false)) = (&b.invocation, &b.response)
+            {
+                if w == v && a.responded_at < b.invoked_at {
+                    let kind = if matches!(a.invocation, AuthInv::Read) {
+                        "Obs. 19 (read implies verify)"
+                    } else {
+                        "Obs. 18 (relay)"
+                    };
+                    return violation(
+                        kind,
+                        format!(
+                            "{}'s {:?} certified {v:?} at t={} but {}'s later Verify -> false",
+                            a.pid, a.invocation, a.responded_at, b.pid
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Obs. 16 (validity) + Obs. 17 (unforgeability) for histories whose writer
+/// is **correct**. `v0` is the register's initial value.
+pub fn authenticated_monitor<V: Value>(
+    v0: &V,
+    ops: &[CompleteOp<AuthInv<V>, AuthResp<V>>],
+) -> MonitorResult {
+    authenticated_relay(ops)?;
+    for a in ops {
+        match (&a.invocation, &a.response) {
+            // Obs. 16: Write(v) completed => all later Verify(v) true.
+            (AuthInv::Write(v), AuthResp::Done) => {
+                for b in ops {
+                    if let (AuthInv::Verify(w), AuthResp::VerifyResult(false)) =
+                        (&b.invocation, &b.response)
+                    {
+                        if w == v && a.responded_at < b.invoked_at {
+                            return violation(
+                                "Obs. 16 (validity)",
+                                format!(
+                                    "Write({v:?}) completed at t={} but {}'s later Verify -> false",
+                                    a.responded_at, b.pid
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            // Obs. 17: Verify(v) -> true => v = v0 or Write(v) invoked before
+            // the response.
+            (AuthInv::Verify(v), AuthResp::VerifyResult(true)) => {
+                if v != v0 {
+                    let justified = ops.iter().any(|w| {
+                        matches!(
+                            (&w.invocation, &w.response),
+                            (AuthInv::Write(x), AuthResp::Done) if x == v
+                        ) && w.invoked_at < a.responded_at
+                    });
+                    if !justified {
+                        return violation(
+                            "Obs. 17 (unforgeability)",
+                            format!(
+                                "{}'s Verify({v:?}) -> true with no Write({v:?}) invoked before t={}",
+                                a.pid, a.responded_at
+                            ),
+                        );
+                    }
+                }
+            }
+            // Reads must return a written value or v0 (weak regularity; the
+            // full checker handles exact freshness).
+            (AuthInv::Read, AuthResp::ReadValue(v)) => {
+                if v != v0 {
+                    let ever_written = ops.iter().any(|w| {
+                        matches!(
+                            (&w.invocation, &w.response),
+                            (AuthInv::Write(x), AuthResp::Done) if x == v
+                        ) && w.invoked_at < a.responded_at
+                    });
+                    if !ever_written {
+                        return violation(
+                            "Def. 15 (read)",
+                            format!("{}'s Read returned never-written {v:?}", a.pid),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Sticky register
+// ---------------------------------------------------------------------------
+
+/// Obs. 24 (uniqueness) + Corollary 182 (all non-`⊥` reads agree, even
+/// concurrent ones). Holds for **any** writer.
+pub fn sticky_uniqueness<V: Value>(
+    ops: &[CompleteOp<StickyInv<V>, StickyResp<V>>],
+) -> MonitorResult {
+    let mut first_value: Option<&V> = None;
+    for a in ops {
+        if let (StickyInv::Read, StickyResp::ReadValue(Some(v))) = (&a.invocation, &a.response) {
+            match first_value {
+                None => first_value = Some(v),
+                Some(w) if w == v => {}
+                Some(w) => {
+                    return violation(
+                        "Cor. 182 (agreement)",
+                        format!("two reads returned different non-⊥ values {w:?} and {v:?}"),
+                    );
+                }
+            }
+        }
+    }
+    // Obs. 24: once a read returns v, later reads cannot return ⊥.
+    for a in ops {
+        let (StickyInv::Read, StickyResp::ReadValue(Some(v))) = (&a.invocation, &a.response) else {
+            continue;
+        };
+        for b in ops {
+            if let (StickyInv::Read, StickyResp::ReadValue(None)) = (&b.invocation, &b.response) {
+                if a.responded_at < b.invoked_at {
+                    return violation(
+                        "Obs. 24 (uniqueness)",
+                        format!(
+                            "{}'s Read -> {v:?} at t={} but {}'s later Read -> ⊥",
+                            a.pid, a.responded_at, b.pid
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Obs. 22 (validity) + Obs. 23 (unforgeability) for histories whose writer
+/// is **correct**.
+pub fn sticky_monitor<V: Value>(ops: &[CompleteOp<StickyInv<V>, StickyResp<V>>]) -> MonitorResult {
+    sticky_uniqueness(ops)?;
+    // The first write (by invocation order; the correct writer is sequential).
+    let first_write = ops
+        .iter()
+        .filter(|o| matches!(o.invocation, StickyInv::Write(_)))
+        .min_by_key(|o| o.invoked_at);
+    for a in ops {
+        match (&a.invocation, &a.response) {
+            (StickyInv::Read, StickyResp::ReadValue(Some(v))) => {
+                // Obs. 23: the value must be that of the first write, and the
+                // write must have been invoked before the read responded.
+                match first_write {
+                    Some(w) => {
+                        let StickyInv::Write(fv) = &w.invocation else { unreachable!() };
+                        if fv != v {
+                            return violation(
+                                "Obs. 23 (unforgeability)",
+                                format!("Read -> {v:?} but the first Write wrote {fv:?}"),
+                            );
+                        }
+                        if w.invoked_at >= a.responded_at {
+                            return violation(
+                                "Obs. 23 (unforgeability)",
+                                format!("Read -> {v:?} responded before Write({v:?}) was invoked"),
+                            );
+                        }
+                    }
+                    None => {
+                        return violation(
+                            "Obs. 23 (unforgeability)",
+                            format!("Read -> {v:?} but the writer never wrote"),
+                        );
+                    }
+                }
+            }
+            (StickyInv::Read, StickyResp::ReadValue(None)) => {
+                // Def. 21: ⊥ only if no completed Write precedes the Read.
+                if let Some(w) = first_write {
+                    if w.responded_at < a.invoked_at {
+                        return violation(
+                            "Obs. 22 (validity)",
+                            format!(
+                                "{}'s Read -> ⊥ at t={} although the first Write completed at t={}",
+                                a.pid, a.invoked_at, w.responded_at
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Test-or-set
+// ---------------------------------------------------------------------------
+
+/// Lemma 28 for one-shot test-or-set histories of correct processes.
+///
+/// `setter_correct` states whether the setter is in the correct set (its
+/// `Set`, if any, is then part of `ops`).
+pub fn test_or_set_monitor(
+    setter_correct: bool,
+    ops: &[CompleteOp<TosInv, TosResp>],
+) -> MonitorResult {
+    let set_op = ops.iter().find(|o| matches!(o.invocation, TosInv::Set));
+    for a in ops {
+        let (TosInv::Test, TosResp::TestResult(r)) = (&a.invocation, &a.response) else {
+            continue;
+        };
+        if setter_correct {
+            match (set_op, r) {
+                // Lemma 28(1): Set precedes Test => Test returns 1.
+                (Some(s), false) if s.responded_at < a.invoked_at => {
+                    return violation(
+                        "Lemma 28(1)",
+                        format!("Set completed at t={} but {}'s later Test -> 0", s.responded_at, a.pid),
+                    );
+                }
+                // Lemma 28(2): Test -> 1 => Set invoked before the response.
+                (Some(s), true) if s.invoked_at >= a.responded_at => {
+                    return violation(
+                        "Lemma 28(2)",
+                        format!("{}'s Test -> 1 at t={} before Set was invoked (t={})", a.pid, a.responded_at, s.invoked_at),
+                    );
+                }
+                (None, true) => {
+                    return violation(
+                        "Lemma 28(2)",
+                        format!("{}'s Test -> 1 but the correct setter never invoked Set", a.pid),
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Lemma 28(3): Test -> 1 preceding Test' => Test' -> 1.
+        if *r {
+            for b in ops {
+                if let (TosInv::Test, TosResp::TestResult(false)) = (&b.invocation, &b.response) {
+                    if a.responded_at < b.invoked_at {
+                        return violation(
+                            "Lemma 28(3)",
+                            format!(
+                                "{}'s Test -> 1 at t={} but {}'s later Test -> 0",
+                                a.pid, a.responded_at, b.pid
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_runtime::{OpToken, ProcessId};
+
+    fn op<I, R>(pid: usize, t0: u64, t1: u64, inv: I, resp: R) -> CompleteOp<I, R> {
+        CompleteOp {
+            op: OpToken::default(),
+            pid: ProcessId::new(pid),
+            invoked_at: t0,
+            responded_at: t1,
+            invocation: inv,
+            response: resp,
+        }
+    }
+
+    #[test]
+    fn relay_violation_detected() {
+        let ops = vec![
+            op(2, 1, 2, VerInv::Verify(7u32), VerResp::VerifyResult(true)),
+            op(3, 3, 4, VerInv::Verify(7u32), VerResp::VerifyResult(false)),
+        ];
+        let err = verifiable_relay(&ops).unwrap_err();
+        assert_eq!(err.property, "Obs. 13 (relay)");
+    }
+
+    #[test]
+    fn relay_allows_concurrent_disagreement() {
+        // A false Verify *concurrent* with the first true Verify is fine.
+        let ops = vec![
+            op(2, 1, 10, VerInv::Verify(7u32), VerResp::VerifyResult(true)),
+            op(3, 2, 9, VerInv::Verify(7u32), VerResp::VerifyResult(false)),
+        ];
+        assert!(verifiable_relay(&ops).is_ok());
+    }
+
+    #[test]
+    fn validity_violation_detected() {
+        let ops = vec![
+            op(1, 1, 2, VerInv::Write(7u32), VerResp::Done),
+            op(1, 3, 4, VerInv::Sign(7u32), VerResp::SignResult(true)),
+            op(2, 5, 6, VerInv::Verify(7u32), VerResp::VerifyResult(false)),
+        ];
+        let err = verifiable_monitor(&ops).unwrap_err();
+        assert_eq!(err.property, "Obs. 11 (validity)");
+    }
+
+    #[test]
+    fn unforgeability_violation_detected() {
+        let ops = vec![op(2, 1, 2, VerInv::Verify(9u32), VerResp::VerifyResult(true))];
+        let err = verifiable_monitor(&ops).unwrap_err();
+        assert_eq!(err.property, "Obs. 12 (unforgeability)");
+    }
+
+    #[test]
+    fn clean_verifiable_history_passes() {
+        let ops = vec![
+            op(1, 1, 2, VerInv::Write(7u32), VerResp::Done),
+            op(2, 3, 4, VerInv::Verify(7u32), VerResp::VerifyResult(false)),
+            op(1, 5, 6, VerInv::Sign(7u32), VerResp::SignResult(true)),
+            op(2, 7, 8, VerInv::Verify(7u32), VerResp::VerifyResult(true)),
+            op(3, 9, 10, VerInv::Verify(7u32), VerResp::VerifyResult(true)),
+        ];
+        assert!(verifiable_monitor(&ops).is_ok());
+    }
+
+    #[test]
+    fn authenticated_read_then_failed_verify_is_obs19_violation() {
+        let ops = vec![
+            op(2, 1, 2, AuthInv::Read, AuthResp::ReadValue(4u32)),
+            op(3, 3, 4, AuthInv::Verify(4u32), AuthResp::VerifyResult(false)),
+        ];
+        let err = authenticated_relay(&ops).unwrap_err();
+        assert_eq!(err.property, "Obs. 19 (read implies verify)");
+    }
+
+    #[test]
+    fn authenticated_monitor_accepts_v0_verifies() {
+        let ops = vec![op(2, 1, 2, AuthInv::Verify(0u32), AuthResp::VerifyResult(true))];
+        assert!(authenticated_monitor(&0, &ops).is_ok());
+    }
+
+    #[test]
+    fn sticky_disagreement_detected() {
+        let ops = vec![
+            op(2, 1, 2, StickyInv::Read, StickyResp::ReadValue(Some(1u32))),
+            op(3, 1, 2, StickyInv::Read, StickyResp::ReadValue(Some(2u32))),
+        ];
+        let err = sticky_uniqueness(&ops).unwrap_err();
+        assert_eq!(err.property, "Cor. 182 (agreement)");
+    }
+
+    #[test]
+    fn sticky_bottom_after_value_detected() {
+        let ops = vec![
+            op(2, 1, 2, StickyInv::Read, StickyResp::ReadValue(Some(1u32))),
+            op(3, 3, 4, StickyInv::Read, StickyResp::ReadValue(None)),
+        ];
+        let err = sticky_uniqueness(&ops).unwrap_err();
+        assert_eq!(err.property, "Obs. 24 (uniqueness)");
+    }
+
+    #[test]
+    fn sticky_monitor_checks_first_write_value() {
+        let ops = vec![
+            op(1, 1, 2, StickyInv::Write(1u32), StickyResp::Done),
+            op(1, 3, 4, StickyInv::Write(2u32), StickyResp::Done),
+            op(2, 5, 6, StickyInv::Read, StickyResp::ReadValue(Some(2u32))),
+        ];
+        let err = sticky_monitor(&ops).unwrap_err();
+        assert_eq!(err.property, "Obs. 23 (unforgeability)");
+    }
+
+    #[test]
+    fn sticky_monitor_accepts_correct_history() {
+        let ops = vec![
+            op(2, 1, 2, StickyInv::Read, StickyResp::ReadValue(None)),
+            op(1, 3, 6, StickyInv::Write(1u32), StickyResp::Done),
+            op(2, 7, 8, StickyInv::Read, StickyResp::ReadValue(Some(1u32))),
+        ];
+        assert!(sticky_monitor(&ops).is_ok());
+    }
+
+    #[test]
+    fn lemma_28_cases() {
+        // (1) Set completed, later Test -> 0.
+        let ops = vec![
+            op(1, 1, 2, TosInv::Set, TosResp::Done),
+            op(2, 3, 4, TosInv::Test, TosResp::TestResult(false)),
+        ];
+        assert_eq!(test_or_set_monitor(true, &ops).unwrap_err().property, "Lemma 28(1)");
+
+        // (2) Test -> 1 with no Set by the correct setter.
+        let ops = vec![op(2, 1, 2, TosInv::Test, TosResp::TestResult(true))];
+        assert_eq!(test_or_set_monitor(true, &ops).unwrap_err().property, "Lemma 28(2)");
+        // ... but with a Byzantine setter that is allowed.
+        assert!(test_or_set_monitor(false, &ops).is_ok());
+
+        // (3) relay between testers, regardless of the setter.
+        let ops = vec![
+            op(2, 1, 2, TosInv::Test, TosResp::TestResult(true)),
+            op(3, 3, 4, TosInv::Test, TosResp::TestResult(false)),
+        ];
+        assert_eq!(test_or_set_monitor(false, &ops).unwrap_err().property, "Lemma 28(3)");
+    }
+}

@@ -1,0 +1,496 @@
+//! Sequential specifications of the paper's objects.
+//!
+//! * [`VerifiableSpec`] — Definition 10 (SWMR verifiable register),
+//! * [`AuthenticatedSpec`] — Definition 15 (SWMR authenticated register),
+//! * [`StickySpec`] — Definition 21 (SWMR sticky register),
+//! * [`TestOrSetSpec`] — Definition 26 (test-or-set),
+//! * [`SwmrSpec`] — a plain atomic SWMR register (used to validate the
+//!   message-passing emulation of `byzreg-mp`).
+
+use std::collections::BTreeSet;
+
+use crate::sequential::SequentialSpec;
+use byzreg_runtime::Value;
+
+// ---------------------------------------------------------------------------
+// Verifiable register (Definition 10)
+// ---------------------------------------------------------------------------
+
+/// Invocations of a verifiable register.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum VerInv<V> {
+    /// `Write(v)` by the writer.
+    Write(V),
+    /// `Read` by any reader.
+    Read,
+    /// `Sign(v)` by the writer.
+    Sign(V),
+    /// `Verify(v)` by any reader.
+    Verify(V),
+}
+
+/// Responses of a verifiable register.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum VerResp<V> {
+    /// `Write` returned `done`.
+    Done,
+    /// Value returned by `Read`.
+    ReadValue(V),
+    /// `true` ⇔ `success` for `Sign`.
+    SignResult(bool),
+    /// Result of `Verify`.
+    VerifyResult(bool),
+}
+
+/// Definition 10: the sequential specification of a multivalued SWMR
+/// verifiable register with initial value `v0`.
+#[derive(Clone, Debug)]
+pub struct VerifiableSpec<V> {
+    /// The initial value `v0 ∈ V`.
+    pub v0: V,
+}
+
+/// State of [`VerifiableSpec`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VerState<V: Ord> {
+    /// Last written value (or `v0`).
+    pub current: V,
+    /// Values written so far.
+    pub written: BTreeSet<V>,
+    /// Values signed so far (via a `Sign` that returned `success`).
+    pub signed: BTreeSet<V>,
+}
+
+impl<V: Value> SequentialSpec for VerifiableSpec<V> {
+    type Invocation = VerInv<V>;
+    type Response = VerResp<V>;
+    type State = VerState<V>;
+
+    fn initial(&self) -> Self::State {
+        VerState { current: self.v0.clone(), written: BTreeSet::new(), signed: BTreeSet::new() }
+    }
+
+    fn apply(&self, s: &Self::State, inv: &VerInv<V>, resp: &VerResp<V>) -> Option<Self::State> {
+        match (inv, resp) {
+            (VerInv::Write(v), VerResp::Done) => {
+                let mut s = s.clone();
+                s.current = v.clone();
+                s.written.insert(v.clone());
+                Some(s)
+            }
+            (VerInv::Read, VerResp::ReadValue(v)) => (*v == s.current).then(|| s.clone()),
+            (VerInv::Sign(v), VerResp::SignResult(success)) => {
+                // A Sign(v) returns success iff there is a Write(v) before it.
+                if *success != s.written.contains(v) {
+                    return None;
+                }
+                let mut s = s.clone();
+                if *success {
+                    s.signed.insert(v.clone());
+                }
+                Some(s)
+            }
+            (VerInv::Verify(v), VerResp::VerifyResult(b)) => {
+                // Verify(v) returns true iff a successful Sign(v) precedes it.
+                (*b == s.signed.contains(v)).then(|| s.clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Authenticated register (Definition 15)
+// ---------------------------------------------------------------------------
+
+/// Invocations of an authenticated register.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AuthInv<V> {
+    /// `Write(v)` by the writer (atomically "signed").
+    Write(V),
+    /// `Read` by any reader.
+    Read,
+    /// `Verify(v)` by any reader.
+    Verify(V),
+}
+
+/// Responses of an authenticated register.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AuthResp<V> {
+    /// `Write` returned `done`.
+    Done,
+    /// Value returned by `Read`.
+    ReadValue(V),
+    /// Result of `Verify`.
+    VerifyResult(bool),
+}
+
+/// Definition 15: the sequential specification of a multivalued SWMR
+/// authenticated register with initial value `v0` (deemed "signed").
+#[derive(Clone, Debug)]
+pub struct AuthenticatedSpec<V> {
+    /// The initial value `v0 ∈ V`.
+    pub v0: V,
+}
+
+/// State of [`AuthenticatedSpec`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AuthState<V: Ord> {
+    /// Last written value (or `v0`).
+    pub current: V,
+    /// Values written so far; contains `v0` from the start.
+    pub written: BTreeSet<V>,
+}
+
+impl<V: Value> SequentialSpec for AuthenticatedSpec<V> {
+    type Invocation = AuthInv<V>;
+    type Response = AuthResp<V>;
+    type State = AuthState<V>;
+
+    fn initial(&self) -> Self::State {
+        let mut written = BTreeSet::new();
+        written.insert(self.v0.clone());
+        AuthState { current: self.v0.clone(), written }
+    }
+
+    fn apply(&self, s: &Self::State, inv: &AuthInv<V>, resp: &AuthResp<V>) -> Option<Self::State> {
+        match (inv, resp) {
+            (AuthInv::Write(v), AuthResp::Done) => {
+                let mut s = s.clone();
+                s.current = v.clone();
+                s.written.insert(v.clone());
+                Some(s)
+            }
+            (AuthInv::Read, AuthResp::ReadValue(v)) => (*v == s.current).then(|| s.clone()),
+            (AuthInv::Verify(v), AuthResp::VerifyResult(b)) => {
+                // Verify(v) is true iff v was written before it or v = v0.
+                (*b == s.written.contains(v)).then(|| s.clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sticky register (Definition 21)
+// ---------------------------------------------------------------------------
+
+/// Invocations of a sticky register.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StickyInv<V> {
+    /// `Write(v)` by the writer (`v ∈ V`, never `⊥`).
+    Write(V),
+    /// `Read` by any reader.
+    Read,
+}
+
+/// Responses of a sticky register. `Read` may return `None` = `⊥`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StickyResp<V> {
+    /// `Write` returned `done`.
+    Done,
+    /// Value returned by `Read`; `None` encodes `⊥`.
+    ReadValue(Option<V>),
+}
+
+/// Definition 21: the sequential specification of a multivalued SWMR sticky
+/// register, initialized to `⊥ ∉ V` (encoded as `None`).
+#[derive(Clone, Debug)]
+pub struct StickySpec<V> {
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V> Default for StickySpec<V> {
+    fn default() -> Self {
+        StickySpec { _marker: std::marker::PhantomData }
+    }
+}
+
+impl<V> StickySpec<V> {
+    /// Creates the spec (the initial value is always `⊥`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<V: Value> SequentialSpec for StickySpec<V> {
+    type Invocation = StickyInv<V>;
+    type Response = StickyResp<V>;
+    type State = Option<V>;
+
+    fn initial(&self) -> Self::State {
+        None
+    }
+
+    fn apply(&self, s: &Self::State, inv: &StickyInv<V>, resp: &StickyResp<V>) -> Option<Self::State> {
+        match (inv, resp) {
+            (StickyInv::Write(v), StickyResp::Done) => {
+                // Only the first write takes effect; later writes are no-ops.
+                Some(s.clone().or_else(|| Some(v.clone())))
+            }
+            (StickyInv::Read, StickyResp::ReadValue(r)) => (r == s).then(|| s.clone()),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-or-set (Definition 26)
+// ---------------------------------------------------------------------------
+
+/// Invocations of a test-or-set object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TosInv {
+    /// `Set` by the setter.
+    Set,
+    /// `Test` by any tester.
+    Test,
+}
+
+/// Responses of a test-or-set object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TosResp {
+    /// `Set` completed.
+    Done,
+    /// `Test` returned `1` (`true`) or `0` (`false`).
+    TestResult(bool),
+}
+
+/// Definition 26: a register initialized to 0, settable to 1 by a single
+/// process; `Test` returns 1 iff a `Set` occurs before it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TestOrSetSpec;
+
+impl SequentialSpec for TestOrSetSpec {
+    type Invocation = TosInv;
+    type Response = TosResp;
+    type State = bool;
+
+    fn initial(&self) -> Self::State {
+        false
+    }
+
+    fn apply(&self, s: &bool, inv: &TosInv, resp: &TosResp) -> Option<bool> {
+        match (inv, resp) {
+            (TosInv::Set, TosResp::Done) => Some(true),
+            (TosInv::Test, TosResp::TestResult(b)) => (b == s).then_some(*s),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain SWMR register
+// ---------------------------------------------------------------------------
+
+/// Invocations of a plain atomic SWMR register.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegInv<V> {
+    /// `Write(v)` by the writer.
+    Write(V),
+    /// `Read` by any reader.
+    Read,
+}
+
+/// Responses of a plain atomic SWMR register.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegResp<V> {
+    /// `Write` completed.
+    Done,
+    /// Value returned by `Read`.
+    ReadValue(V),
+}
+
+/// Sequential specification of a plain atomic SWMR register with initial
+/// value `v0`; used to validate the message-passing register emulation.
+#[derive(Clone, Debug)]
+pub struct SwmrSpec<V> {
+    /// The initial value.
+    pub v0: V,
+}
+
+impl<V: Value> SequentialSpec for SwmrSpec<V> {
+    type Invocation = RegInv<V>;
+    type Response = RegResp<V>;
+    type State = V;
+
+    fn initial(&self) -> Self::State {
+        self.v0.clone()
+    }
+
+    fn apply(&self, s: &V, inv: &RegInv<V>, resp: &RegResp<V>) -> Option<V> {
+        match (inv, resp) {
+            (RegInv::Write(v), RegResp::Done) => Some(v.clone()),
+            (RegInv::Read, RegResp::ReadValue(v)) => (v == s).then(|| s.clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::run_sequence;
+
+    #[test]
+    fn verifiable_sign_requires_prior_write() {
+        let spec = VerifiableSpec { v0: 0u32 };
+        // Sign(5) must fail before Write(5).
+        assert!(run_sequence(&spec, vec![(VerInv::Sign(5), VerResp::SignResult(true))]).is_none());
+        assert!(run_sequence(&spec, vec![(VerInv::Sign(5), VerResp::SignResult(false))]).is_some());
+        assert!(run_sequence(
+            &spec,
+            vec![
+                (VerInv::Write(5), VerResp::Done),
+                (VerInv::Sign(5), VerResp::SignResult(true)),
+                (VerInv::Verify(5), VerResp::VerifyResult(true)),
+            ]
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn verifiable_verify_requires_prior_sign_not_just_write() {
+        let spec = VerifiableSpec { v0: 0u32 };
+        assert!(run_sequence(
+            &spec,
+            vec![
+                (VerInv::Write(5), VerResp::Done),
+                (VerInv::Verify(5), VerResp::VerifyResult(true)), // not signed yet!
+            ]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn verifiable_writer_can_sign_older_values() {
+        // §4: "it is allowed to sign any of the values that it previously
+        // wrote, even older ones."
+        let spec = VerifiableSpec { v0: 0u32 };
+        assert!(run_sequence(
+            &spec,
+            vec![
+                (VerInv::Write(5), VerResp::Done),
+                (VerInv::Write(6), VerResp::Done),
+                (VerInv::Sign(5), VerResp::SignResult(true)),
+            ]
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn verifiable_read_returns_last_write_or_v0() {
+        let spec = VerifiableSpec { v0: 9u32 };
+        assert!(run_sequence(&spec, vec![(VerInv::Read, VerResp::ReadValue(9))]).is_some());
+        assert!(run_sequence(
+            &spec,
+            vec![(VerInv::Write(1), VerResp::Done), (VerInv::Read, VerResp::ReadValue(9))]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn authenticated_v0_is_deemed_signed() {
+        let spec = AuthenticatedSpec { v0: 0u32 };
+        assert!(run_sequence(&spec, vec![(AuthInv::Verify(0), AuthResp::VerifyResult(true))])
+            .is_some());
+        assert!(run_sequence(&spec, vec![(AuthInv::Verify(3), AuthResp::VerifyResult(false))])
+            .is_some());
+        assert!(run_sequence(&spec, vec![(AuthInv::Verify(3), AuthResp::VerifyResult(true))])
+            .is_none());
+    }
+
+    #[test]
+    fn authenticated_write_is_atomically_signed() {
+        let spec = AuthenticatedSpec { v0: 0u32 };
+        assert!(run_sequence(
+            &spec,
+            vec![
+                (AuthInv::Write(3), AuthResp::Done),
+                (AuthInv::Verify(3), AuthResp::VerifyResult(true)),
+                (AuthInv::Read, AuthResp::ReadValue(3)),
+            ]
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn sticky_only_first_write_takes_effect() {
+        let spec = StickySpec::<u32>::new();
+        assert!(run_sequence(
+            &spec,
+            vec![
+                (StickyInv::Write(1), StickyResp::Done),
+                (StickyInv::Write(2), StickyResp::Done),
+                (StickyInv::Read, StickyResp::ReadValue(Some(1))),
+            ]
+        )
+        .is_some());
+        assert!(run_sequence(
+            &spec,
+            vec![
+                (StickyInv::Write(1), StickyResp::Done),
+                (StickyInv::Write(2), StickyResp::Done),
+                (StickyInv::Read, StickyResp::ReadValue(Some(2))),
+            ]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn sticky_reads_bottom_before_any_write() {
+        let spec = StickySpec::<u32>::new();
+        assert!(run_sequence(&spec, vec![(StickyInv::Read, StickyResp::ReadValue(None))]).is_some());
+        assert!(run_sequence(
+            &spec,
+            vec![
+                (StickyInv::Write(1), StickyResp::Done),
+                (StickyInv::Read, StickyResp::ReadValue(None)),
+            ]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn test_or_set_observation_27() {
+        let spec = TestOrSetSpec;
+        // (1) Set before Test => 1.
+        assert!(run_sequence(
+            &spec,
+            vec![(TosInv::Set, TosResp::Done), (TosInv::Test, TosResp::TestResult(true))]
+        )
+        .is_some());
+        // (2) Test returning 1 without a prior Set is illegal.
+        assert!(run_sequence(&spec, vec![(TosInv::Test, TosResp::TestResult(true))]).is_none());
+        // (3) once 1, always 1.
+        assert!(run_sequence(
+            &spec,
+            vec![
+                (TosInv::Set, TosResp::Done),
+                (TosInv::Test, TosResp::TestResult(true)),
+                (TosInv::Test, TosResp::TestResult(false)),
+            ]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn swmr_reads_follow_writes() {
+        let spec = SwmrSpec { v0: 0u8 };
+        assert!(run_sequence(
+            &spec,
+            vec![
+                (RegInv::Read, RegResp::ReadValue(0)),
+                (RegInv::Write(2), RegResp::Done),
+                (RegInv::Read, RegResp::ReadValue(2)),
+            ]
+        )
+        .is_some());
+        assert!(run_sequence(
+            &spec,
+            vec![(RegInv::Write(2), RegResp::Done), (RegInv::Read, RegResp::ReadValue(0))]
+        )
+        .is_none());
+    }
+}

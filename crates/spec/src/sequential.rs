@@ -1,0 +1,78 @@
+//! Sequential specifications of objects, as state machines.
+//!
+//! A sequential specification (the paper's "type `T` of an object", §3.2)
+//! determines which response each operation may return from each state. The
+//! linearizability checker in [`crate::linearize`] searches for a sequence of
+//! operations that conforms to such a specification.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A sequential object specification.
+///
+/// `apply` returns the successor state if invoking `inv` from `state` may
+/// legally return `resp`, and `None` otherwise.
+pub trait SequentialSpec {
+    /// Invocation alphabet.
+    type Invocation: Clone + Debug;
+    /// Response alphabet.
+    type Response: Clone + Debug + Eq;
+    /// Object states.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Applies one operation; `None` if `(inv, resp)` is illegal in `state`.
+    fn apply(
+        &self,
+        state: &Self::State,
+        inv: &Self::Invocation,
+        resp: &Self::Response,
+    ) -> Option<Self::State>;
+}
+
+/// Runs a sequence of `(invocation, response)` pairs through `spec` from the
+/// initial state; returns the final state if every step is legal.
+pub fn run_sequence<S: SequentialSpec>(
+    spec: &S,
+    ops: impl IntoIterator<Item = (S::Invocation, S::Response)>,
+) -> Option<S::State> {
+    let mut state = spec.initial();
+    for (inv, resp) in ops {
+        state = spec.apply(&state, &inv, &resp)?;
+    }
+    Some(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registers::{TosInv, TosResp, TestOrSetSpec};
+
+    #[test]
+    fn run_sequence_accepts_legal_runs() {
+        let spec = TestOrSetSpec;
+        let end = run_sequence(
+            &spec,
+            vec![
+                (TosInv::Test, TosResp::TestResult(false)),
+                (TosInv::Set, TosResp::Done),
+                (TosInv::Test, TosResp::TestResult(true)),
+            ],
+        );
+        assert!(end.is_some());
+    }
+
+    #[test]
+    fn run_sequence_rejects_illegal_runs() {
+        let spec = TestOrSetSpec;
+        let end = run_sequence(
+            &spec,
+            vec![
+                (TosInv::Test, TosResp::TestResult(true)), // no Set yet
+            ],
+        );
+        assert!(end.is_none());
+    }
+}

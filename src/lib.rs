@@ -1,0 +1,57 @@
+//! # byzreg
+//!
+//! A Rust reproduction of **Hu & Toueg, "You can lie but not deny: SWMR
+//! registers with signature properties in systems with Byzantine
+//! processes"** (PODC 2025, arXiv:2504.09805).
+//!
+//! The paper shows how to build three kinds of single-writer multi-reader
+//! registers that emulate unforgeable digital signatures **without any
+//! cryptography**, in asynchronous shared memory with `n > 3f` processes of
+//! which `f` may be Byzantine — and proves `n > 3f` optimal.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`runtime`] — shared-memory substrate: registers with owner-only write
+//!   ports, deterministic/chaotic schedulers, Byzantine fault injection,
+//!   history recording;
+//! * [`core`] — Algorithms 1–3 (verifiable, authenticated, sticky
+//!   registers), test-or-set (§10), canned attacks;
+//! * [`spec`] — sequential specs, linearizability and Byzantine
+//!   linearizability checkers, property monitors for every Observation;
+//! * [`crypto`] — the idealized-signature baseline the paper is positioned
+//!   against;
+//! * [`mp`] — a message-passing SWMR emulation (`n > 3f`, signature-free)
+//!   over which the core algorithms run unchanged;
+//! * [`apps`] — signature-free applications: non-equivocating broadcast,
+//!   reliable broadcast, atomic snapshot, asset transfer.
+//!
+//! # Quick start
+//!
+//! ```
+//! use byzreg::core::VerifiableRegister;
+//! use byzreg::runtime::{ProcessId, System};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = System::builder(4).build(); // n = 4 processes, f = 1
+//! let reg = VerifiableRegister::install(&system, 0u64);
+//!
+//! let mut writer = reg.writer();
+//! let mut reader = reg.reader(ProcessId::new(2));
+//!
+//! writer.write(7)?;
+//! writer.sign(&7)?;
+//! assert!(reader.verify(&7)?); // "signed" — and deniable never again
+//! system.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use byzreg_apps as apps;
+pub use byzreg_core as core;
+pub use byzreg_crypto as crypto;
+pub use byzreg_mp as mp;
+pub use byzreg_runtime as runtime;
+pub use byzreg_spec as spec;

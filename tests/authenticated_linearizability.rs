@@ -1,0 +1,169 @@
+//! E3 — Theorem 20: Algorithm 2 is a correct implementation of a SWMR
+//! authenticated register.
+
+use byzreg::core::attacks;
+use byzreg::core::AuthenticatedRegister;
+use byzreg::runtime::{ProcessId, Scheduling, System};
+use byzreg::spec::augment::check_byzantine_authenticated;
+use byzreg::spec::linearize::check;
+use byzreg::spec::monitors::{authenticated_monitor, authenticated_relay};
+use byzreg::spec::registers::AuthenticatedSpec;
+
+/// Concurrent correct executions linearize against Definition 15.
+#[test]
+fn concurrent_correct_history_linearizes() {
+    for seed in [11u64, 12, 13, 14] {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(seed)).build();
+        let reg = AuthenticatedRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut handles = Vec::new();
+        handles.push(std::thread::spawn(move || {
+            for v in 1..=3u32 {
+                w.write(v).unwrap();
+            }
+        }));
+        for k in 2..=4 {
+            let mut r = reg.reader(ProcessId::new(k));
+            handles.push(std::thread::spawn(move || {
+                for v in 1..=3u32 {
+                    let _ = r.read().unwrap();
+                    let _ = r.verify(&v).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert!(authenticated_monitor(&0u32, &ops).is_ok(), "seed {seed}: {ops:?}");
+        assert!(
+            check(&AuthenticatedSpec { v0: 0u32 }, &ops).is_linearizable(),
+            "seed {seed}: not linearizable: {ops:?}"
+        );
+    }
+}
+
+/// A write-then-erase Byzantine writer: reader histories stay Byzantine
+/// linearizable (Definition 143) and Obs. 18/19 hold.
+#[test]
+fn byzantine_writer_history_is_byzantine_linearizable() {
+    for seed in [21u64, 22, 23] {
+        let system = System::builder(4)
+            .scheduling(Scheduling::Chaotic(seed))
+            .byzantine(ProcessId::new(1))
+            .build();
+        let reg = AuthenticatedRegister::install(&system, 0u32);
+        let ports = reg.attack_ports(ProcessId::new(1));
+        system
+            .spawn_byzantine(ProcessId::new(1), attacks::authenticated::write_then_erase(ports, 5));
+
+        let mut handles = Vec::new();
+        for k in 2..=4 {
+            let mut r = reg.reader(ProcessId::new(k));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..4 {
+                    let _ = r.read().unwrap();
+                    let _ = r.verify(&5).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert!(authenticated_relay(&ops).is_ok(), "seed {seed}: {ops:?}");
+        assert!(
+            check_byzantine_authenticated(&0u32, &ops).is_linearizable(),
+            "seed {seed}: not Byzantine linearizable: {ops:?}"
+        );
+    }
+}
+
+/// An equivocating Byzantine writer flipping `R1` between two values:
+/// readers may return either value or `v0`, but the history must stay
+/// Byzantine linearizable and relay must hold.
+#[test]
+fn equivocating_writer_cannot_break_reads() {
+    let system = System::builder(4)
+        .scheduling(Scheduling::Chaotic(24))
+        .byzantine(ProcessId::new(1))
+        .build();
+    let reg = AuthenticatedRegister::install(&system, 0u32);
+    let ports = reg.attack_ports(ProcessId::new(1));
+    system.spawn_byzantine(ProcessId::new(1), attacks::authenticated::equivocator(ports, 5, 6));
+
+    let mut handles = Vec::new();
+    for k in 2..=4 {
+        let mut r = reg.reader(ProcessId::new(k));
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..3 {
+                let _ = r.read().unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    system.shutdown();
+    let ops = reg.history().complete_ops();
+    assert!(authenticated_relay(&ops).is_ok(), "{ops:?}");
+    assert!(
+        check_byzantine_authenticated(&0u32, &ops).is_linearizable(),
+        "not Byzantine linearizable: {ops:?}"
+    );
+}
+
+/// A Byzantine reader forging witness claims cannot validate a value the
+/// writer never wrote (Obs. 17).
+#[test]
+fn witness_forger_cannot_forge() {
+    let system = System::builder(4)
+        .scheduling(Scheduling::Chaotic(25))
+        .byzantine(ProcessId::new(4))
+        .build();
+    let reg = AuthenticatedRegister::install(&system, 0u32);
+    let ports = reg.attack_ports(ProcessId::new(4));
+    system.spawn_byzantine(ProcessId::new(4), attacks::authenticated::witness_forger(ports, 666));
+
+    let mut w = reg.writer();
+    w.write(1).unwrap();
+    for k in 2..=3 {
+        let mut r = reg.reader(ProcessId::new(k));
+        assert!(r.verify(&1).unwrap());
+        for _ in 0..5 {
+            assert!(!r.verify(&666).unwrap(), "p{k} accepted a forged value");
+        }
+    }
+    system.shutdown();
+    let ops = reg.history().complete_ops();
+    assert!(authenticated_monitor(&0u32, &ops).is_ok());
+    assert!(check(&AuthenticatedSpec { v0: 0u32 }, &ops).is_linearizable());
+}
+
+/// Works at `n = 7, f = 2` with two colluding faulty processes.
+#[test]
+fn n7_with_two_colluders() {
+    let system = System::builder(7)
+        .scheduling(Scheduling::Chaotic(26))
+        .byzantine(ProcessId::new(6))
+        .byzantine(ProcessId::new(7))
+        .build();
+    let reg = AuthenticatedRegister::install(&system, 0u32);
+    let p6 = reg.attack_ports(ProcessId::new(6));
+    let p7 = reg.attack_ports(ProcessId::new(7));
+    system.spawn_byzantine(ProcessId::new(6), attacks::authenticated::witness_forger(p6, 666));
+    system.spawn_byzantine(ProcessId::new(7), attacks::authenticated::witness_forger(p7, 666));
+
+    let mut w = reg.writer();
+    w.write(3).unwrap();
+    for k in 2..=5 {
+        let mut r = reg.reader(ProcessId::new(k));
+        assert_eq!(r.read().unwrap(), 3);
+        assert!(!r.verify(&666).unwrap(), "two colluding forgers are still < f + 1 witnesses");
+    }
+    system.shutdown();
+    let ops = reg.history().complete_ops();
+    assert!(authenticated_monitor(&0u32, &ops).is_ok());
+}

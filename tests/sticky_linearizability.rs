@@ -1,0 +1,157 @@
+//! E4 — Theorem 25: Algorithm 3 is a correct implementation of a SWMR
+//! sticky register.
+
+use byzreg::core::attacks;
+use byzreg::core::StickyRegister;
+use byzreg::runtime::{ProcessId, Scheduling, System};
+use byzreg::spec::augment::check_byzantine_sticky;
+use byzreg::spec::linearize::check;
+use byzreg::spec::monitors::{sticky_monitor, sticky_uniqueness};
+use byzreg::spec::registers::StickySpec;
+
+/// Concurrent correct executions linearize against Definition 21.
+#[test]
+fn concurrent_correct_history_linearizes() {
+    for seed in [31u64, 32, 33, 34] {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(seed)).build();
+        let reg = StickyRegister::install(&system);
+        let mut w = reg.writer();
+        let mut handles = Vec::new();
+        handles.push(std::thread::spawn(move || {
+            w.write(5u32).unwrap();
+            w.write(9).unwrap(); // no-op by stickiness
+        }));
+        for k in 2..=4 {
+            let mut r = reg.reader(ProcessId::new(k));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..4 {
+                    let _ = r.read().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert!(sticky_monitor(&ops).is_ok(), "seed {seed}: {ops:?}");
+        assert!(
+            check(&StickySpec::<u32>::new(), &ops).is_linearizable(),
+            "seed {seed}: not linearizable: {ops:?}"
+        );
+    }
+}
+
+/// An equivocating Byzantine writer cannot make two correct readers return
+/// different non-`⊥` values (Obs. 24); reader histories stay Byzantine
+/// linearizable.
+#[test]
+fn equivocating_writer_cannot_defeat_uniqueness() {
+    for seed in [41u64, 42, 43] {
+        let system = System::builder(4)
+            .scheduling(Scheduling::Chaotic(seed))
+            .byzantine(ProcessId::new(1))
+            .build();
+        let reg = StickyRegister::install(&system);
+        let ports = reg.attack_ports(ProcessId::new(1));
+        system.spawn_byzantine(ProcessId::new(1), attacks::sticky::equivocator(ports, 111, 222));
+
+        let mut handles = Vec::new();
+        for k in 2..=4 {
+            let mut r = reg.reader(ProcessId::new(k));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..4 {
+                    let _ = r.read().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert!(sticky_uniqueness(&ops).is_ok(), "seed {seed}: {ops:?}");
+        assert!(
+            check_byzantine_sticky(&ops).is_linearizable(),
+            "seed {seed}: not Byzantine linearizable: {ops:?}"
+        );
+    }
+}
+
+/// A bottom-pushing Byzantine helper cannot un-write a completed write.
+#[test]
+fn bottom_pusher_cannot_unwrite() {
+    let system = System::builder(4)
+        .scheduling(Scheduling::Chaotic(44))
+        .byzantine(ProcessId::new(4))
+        .build();
+    let reg = StickyRegister::install(&system);
+    let ports = reg.attack_ports(ProcessId::new(4));
+    system.spawn_byzantine(ProcessId::new(4), attacks::sticky::bottom_pusher::<u32>(ports));
+
+    let mut w = reg.writer();
+    w.write(5u32).unwrap();
+    let mut handles = Vec::new();
+    for k in 2..=3 {
+        let mut r = reg.reader(ProcessId::new(k));
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..4 {
+                assert_eq!(r.read().unwrap(), Some(5));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    system.shutdown();
+    let ops = reg.history().complete_ops();
+    assert!(sticky_monitor(&ops).is_ok());
+    assert!(check(&StickySpec::<u32>::new(), &ops).is_linearizable());
+}
+
+/// Crashed processes up to `f` block nothing; `n = 7, f = 2`.
+#[test]
+fn tolerates_f_crashes_at_n7() {
+    let system = System::builder(7)
+        .scheduling(Scheduling::Chaotic(45))
+        .byzantine(ProcessId::new(6))
+        .byzantine(ProcessId::new(7))
+        .build();
+    let reg = StickyRegister::install(&system);
+    let mut w = reg.writer();
+    w.write(8u32).unwrap();
+    for k in 2..=5 {
+        let mut r = reg.reader(ProcessId::new(k));
+        assert_eq!(r.read().unwrap(), Some(8));
+    }
+    system.shutdown();
+    assert!(sticky_monitor(&reg.history().complete_ops()).is_ok());
+}
+
+/// Readers racing the writer: some may return `⊥`, some the value, but the
+/// interleaving must linearize.
+#[test]
+fn reads_racing_the_write_linearize() {
+    for seed in [51u64, 52, 53, 54, 55] {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(seed)).build();
+        let reg = StickyRegister::install(&system);
+        let mut w = reg.writer();
+        let mut handles = Vec::new();
+        for k in 2..=4 {
+            let mut r = reg.reader(ProcessId::new(k));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..3 {
+                    let _ = r.read().unwrap();
+                }
+            }));
+        }
+        w.write(1u32).unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert!(sticky_monitor(&ops).is_ok(), "seed {seed}: {ops:?}");
+        assert!(check(&StickySpec::<u32>::new(), &ops).is_linearizable(), "seed {seed}");
+    }
+}

@@ -1,0 +1,101 @@
+//! E5 — Observation 30: wait-free test-or-set from a verifiable,
+//! authenticated, or sticky register, checked against Lemma 28 and the
+//! sequential spec of Definition 26.
+
+use byzreg::core::test_or_set::{
+    TosFromAuthenticated, TosFromSticky, TosFromVerifiable, TosSetter, TosTester,
+};
+use byzreg::runtime::{ProcessId, Scheduling, System};
+use byzreg::spec::linearize::check;
+use byzreg::spec::monitors::test_or_set_monitor;
+use byzreg::spec::registers::TestOrSetSpec;
+
+/// Drives one construction through a concurrent one-shot schedule and
+/// audits the history.
+fn drive(
+    mut setter: impl TosSetter + 'static,
+    testers: Vec<Box<dyn FnOnce() -> bool + Send>>,
+) -> Vec<bool> {
+    let mut handles = Vec::new();
+    handles.push(std::thread::spawn(move || {
+        setter.set().unwrap();
+        None
+    }));
+    for t in testers {
+        handles.push(std::thread::spawn(move || Some(t())));
+    }
+    handles.into_iter().filter_map(|h| h.join().unwrap()).collect()
+}
+
+macro_rules! check_construction {
+    ($name:ident, $ty:ident) => {
+        #[test]
+        fn $name() {
+            for seed in [61u64, 62, 63, 64, 65] {
+                let system =
+                    System::builder(4).scheduling(Scheduling::Chaotic(seed)).build();
+                let tos = $ty::install(&system);
+                let setter = tos.setter();
+                let testers: Vec<Box<dyn FnOnce() -> bool + Send>> = (2..=4)
+                    .map(|k| {
+                        let mut t = tos.tester(ProcessId::new(k));
+                        Box::new(move || t.test().unwrap()) as Box<dyn FnOnce() -> bool + Send>
+                    })
+                    .collect();
+                let _ = drive(setter, testers);
+                system.shutdown();
+                let ops = tos.history().complete_ops();
+                assert!(
+                    test_or_set_monitor(true, &ops).is_ok(),
+                    "seed {seed}: Lemma 28 violated: {ops:?}"
+                );
+                assert!(
+                    check(&TestOrSetSpec, &ops).is_linearizable(),
+                    "seed {seed}: not linearizable: {ops:?}"
+                );
+            }
+        }
+    };
+}
+
+check_construction!(from_verifiable_is_linearizable, TosFromVerifiable);
+check_construction!(from_authenticated_is_linearizable, TosFromAuthenticated);
+check_construction!(from_sticky_is_linearizable, TosFromSticky);
+
+/// Sequential relay: once any tester sees 1, every later tester does.
+#[test]
+fn relay_across_testers() {
+    let system = System::builder(4).scheduling(Scheduling::Chaotic(66)).build();
+    let tos = TosFromAuthenticated::install(&system);
+    let mut setter = tos.setter();
+    let mut t2 = tos.tester(ProcessId::new(2));
+    let mut t3 = tos.tester(ProcessId::new(3));
+    let mut t4 = tos.tester(ProcessId::new(4));
+    assert!(!t2.test().unwrap());
+    setter.set().unwrap();
+    assert!(t3.test().unwrap());
+    assert!(t4.test().unwrap(), "Observation 27(3)");
+    assert!(test_or_set_monitor(true, &tos.history().complete_ops()).is_ok());
+    system.shutdown();
+}
+
+/// The constructions stay wait-free with `f` silent processes (Obs. 30
+/// claims correctness for any `n > f` given the register; here the register
+/// itself needs `n > 3f`, so we run `n = 7, f = 2` with 2 crashes).
+#[test]
+fn wait_free_with_crashes() {
+    let system = System::builder(7)
+        .scheduling(Scheduling::Chaotic(67))
+        .byzantine(ProcessId::new(6))
+        .byzantine(ProcessId::new(7))
+        .build();
+    let tos = TosFromSticky::install(&system);
+    let mut setter = tos.setter();
+    setter.set().unwrap();
+    for k in 2..=5 {
+        let mut t = tos.tester(ProcessId::new(k));
+        assert!(t.test().unwrap());
+    }
+    assert!(test_or_set_monitor(true, &tos.history().complete_ops()).is_ok());
+    system.shutdown();
+}

@@ -1,0 +1,178 @@
+//! E2 — Theorem 14: Algorithm 1 is a correct implementation of a SWMR
+//! verifiable register (Byzantine linearizability + termination).
+//!
+//! Randomized concurrent executions are recorded and fed to the full
+//! linearizability checker (correct writer) or to the Definition 78
+//! augmentation checker (Byzantine writer), plus the Observation 11–13
+//! monitors.
+
+use byzreg::core::attacks;
+use byzreg::core::VerifiableRegister;
+use byzreg::runtime::{ProcessId, Scheduling, System};
+use byzreg::spec::augment::check_byzantine_verifiable;
+use byzreg::spec::linearize::check;
+use byzreg::spec::monitors::{verifiable_monitor, verifiable_relay};
+use byzreg::spec::registers::VerifiableSpec;
+
+/// Concurrent writer + three readers, correct processes only, across seeds:
+/// the recorded history must linearize against Definition 10.
+#[test]
+fn concurrent_correct_history_linearizes() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(seed)).build();
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut handles = Vec::new();
+        handles.push(std::thread::spawn(move || {
+            for v in 1..=4u32 {
+                w.write(v).unwrap();
+                if v % 2 == 0 {
+                    w.sign(&v).unwrap();
+                }
+            }
+        }));
+        for k in 2..=4 {
+            let mut r = reg.reader(ProcessId::new(k));
+            handles.push(std::thread::spawn(move || {
+                for v in 1..=4u32 {
+                    let _ = r.read().unwrap();
+                    let _ = r.verify(&v).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert!(
+            verifiable_monitor(&ops).is_ok(),
+            "seed {seed}: monitor violation in {ops:?}"
+        );
+        assert!(
+            check(&VerifiableSpec { v0: 0u32 }, &ops).is_linearizable(),
+            "seed {seed}: not linearizable: {ops:?}"
+        );
+    }
+}
+
+/// Same shape under the deterministic lockstep scheduler.
+#[test]
+fn lockstep_correct_history_linearizes() {
+    for seed in [10u64, 20, 30] {
+        let system = System::builder(4).scheduling(Scheduling::Lockstep(seed)).build();
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let mut w = reg.writer();
+        let mut r = reg.reader(ProcessId::new(2));
+        let t = std::thread::spawn(move || {
+            for v in 1..=3u32 {
+                w.write(v).unwrap();
+                w.sign(&v).unwrap();
+            }
+        });
+        for v in 1..=3u32 {
+            let _ = r.read().unwrap();
+            let _ = r.verify(&v).unwrap();
+        }
+        t.join().unwrap();
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert!(check(&VerifiableSpec { v0: 0u32 }, &ops).is_linearizable(), "seed {seed}");
+    }
+}
+
+/// Byzantine writer running the lie-then-deny script: the reader history
+/// must be Byzantine linearizable (Definition 78 construction) and satisfy
+/// the relay property.
+#[test]
+fn byzantine_writer_history_is_byzantine_linearizable() {
+    for seed in [7u64, 8, 9] {
+        let system = System::builder(4)
+            .scheduling(Scheduling::Chaotic(seed))
+            .byzantine(ProcessId::new(1))
+            .build();
+        let reg = VerifiableRegister::install(&system, 0u32);
+        let ports = reg.attack_ports(ProcessId::new(1));
+        system.spawn_byzantine(ProcessId::new(1), attacks::verifiable::lie_then_deny(ports, 7, 99));
+
+        let mut handles = Vec::new();
+        for k in 2..=4 {
+            let mut r = reg.reader(ProcessId::new(k));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..4 {
+                    let _ = r.read().unwrap();
+                    let _ = r.verify(&7).unwrap();
+                    let _ = r.verify(&99).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        system.shutdown();
+        let ops = reg.history().complete_ops();
+        assert!(verifiable_relay(&ops).is_ok(), "seed {seed}: relay violated: {ops:?}");
+        assert!(
+            check_byzantine_verifiable(&0u32, &ops).is_linearizable(),
+            "seed {seed}: not Byzantine linearizable: {ops:?}"
+        );
+    }
+}
+
+/// A Byzantine reader flipping its vote (the §5.1 bind scenario) cannot
+/// break relay or block termination.
+#[test]
+fn vote_flipping_reader_cannot_break_relay_or_termination() {
+    let system = System::builder(4)
+        .scheduling(Scheduling::Chaotic(44))
+        .byzantine(ProcessId::new(4))
+        .build();
+    let reg = VerifiableRegister::install(&system, 0u32);
+    let ports = reg.attack_ports(ProcessId::new(4));
+    system.spawn_byzantine(ProcessId::new(4), attacks::verifiable::vote_flipper(ports, 5));
+
+    let mut w = reg.writer();
+    w.write(5).unwrap();
+    w.sign(&5).unwrap();
+    let mut handles = Vec::new();
+    for k in 2..=3 {
+        let mut r = reg.reader(ProcessId::new(k));
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..6 {
+                // Termination: every Verify completes despite the flipper.
+                let _ = r.verify(&5).unwrap();
+                let _ = r.verify(&6).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    system.shutdown();
+    let ops = reg.history().complete_ops();
+    assert!(verifiable_monitor(&ops).is_ok(), "{ops:?}");
+    assert!(check(&VerifiableSpec { v0: 0u32 }, &ops).is_linearizable());
+}
+
+/// Silent (crashed) processes up to f do not block any operation.
+#[test]
+fn tolerates_f_silent_processes() {
+    let system = System::builder(7)
+        .scheduling(Scheduling::Chaotic(45))
+        .byzantine(ProcessId::new(6))
+        .byzantine(ProcessId::new(7))
+        .build();
+    let reg = VerifiableRegister::install(&system, 0u32);
+    // f = 2 processes simply never participate.
+    let mut w = reg.writer();
+    w.write(1).unwrap();
+    w.sign(&1).unwrap();
+    for k in 2..=5 {
+        let mut r = reg.reader(ProcessId::new(k));
+        assert!(r.verify(&1).unwrap());
+        assert!(!r.verify(&2).unwrap());
+    }
+    system.shutdown();
+    let ops = reg.history().complete_ops();
+    assert!(verifiable_monitor(&ops).is_ok());
+}
