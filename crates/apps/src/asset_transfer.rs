@@ -233,10 +233,8 @@ mod tests {
         assert!(wallets[0].transfer(ProcessId::new(2), 10).unwrap());
         assert!(wallets[1].transfer(ProcessId::new(3), 20).unwrap());
         assert!(wallets[2].transfer(ProcessId::new(4), 30).unwrap());
-        let views: Vec<Vec<u64>> = wallets
-            .iter_mut()
-            .map(|w| (1..=4).map(|a| w.balance(a).unwrap()).collect())
-            .collect();
+        let views: Vec<Vec<u64>> =
+            wallets.iter_mut().map(|w| (1..=4).map(|a| w.balance(a).unwrap()).collect()).collect();
         for v in &views {
             assert_eq!(*v, views[0], "all correct observers agree");
             assert_eq!(v.iter().sum::<u64>(), 400, "money is conserved");

@@ -31,8 +31,9 @@ impl<M: byzreg_runtime::Value> NonEquivocatingBroadcast<M> {
     #[must_use]
     pub fn install(system: &System) -> Self {
         let n = system.env().n();
-        let registers =
-            (1..=n).map(|s| StickyRegister::install_for_writer(system, ProcessId::new(s))).collect();
+        let registers = (1..=n)
+            .map(|s| StickyRegister::install_for_writer(system, ProcessId::new(s)))
+            .collect();
         NonEquivocatingBroadcast { registers, n }
     }
 
@@ -150,12 +151,12 @@ mod tests {
         for (i, ep) in eps.iter_mut().enumerate() {
             ep.broadcast(i as u32).unwrap();
         }
-        for i in 0..4 {
+        for (i, ep) in eps.iter_mut().enumerate() {
             for s in 0..4 {
                 if i == s {
                     continue;
                 }
-                let got = eps[i].deliver_from(ProcessId::new(s + 1)).unwrap();
+                let got = ep.deliver_from(ProcessId::new(s + 1)).unwrap();
                 assert_eq!(got, Some(s as u32));
             }
         }

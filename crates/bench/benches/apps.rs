@@ -42,8 +42,7 @@ fn bench_ops(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let system = System::builder(3).resilience(1).build();
-                let oracle =
-                    SignatureOracle::new(CostModel::uniform(Duration::from_micros(50)));
+                let oracle = SignatureOracle::new(CostModel::uniform(Duration::from_micros(50)));
                 let reg = SignedVerifiableRegister::install(&system, 0u64, &oracle);
                 let w = reg.writer();
                 let r = reg.reader(ProcessId::new(2));

@@ -1,30 +1,24 @@
 //! B2 — the §7.1 trade-off: an authenticated `Read` embeds a full
-//! `Verify(−)` execution, while a verifiable `Read` is a single base-register
-//! read. This bench quantifies that gap across `n`.
+//! `Verify(−)` execution, while a verifiable `Read` is a single
+//! base-register read. The shared per-operation costs come from the
+//! generic family harness; this file adds the family-specific pieces —
+//! the bounded write burst (Algorithm 2's `R1` grows with every write)
+//! and the verified-read vs plain-read headline comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use byzreg_bench::generic::{bench_family_ops, FamilyFixture};
 use byzreg_bench::{bench_system, SWEEP};
 use byzreg_core::{AuthenticatedRegister, VerifiableRegister};
-use byzreg_runtime::ProcessId;
 
 fn bench_ops(c: &mut Criterion) {
+    bench_family_ops::<AuthenticatedRegister<u64>>(c, &SWEEP);
+
     let mut group = c.benchmark_group("authenticated");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_secs(1));
     for n in SWEEP {
-        let system = bench_system(n);
-        let auth = AuthenticatedRegister::install(&system, 0u64);
-        let ver = VerifiableRegister::install(&system, 0u64);
-        let mut aw = auth.writer();
-        let mut ar = auth.reader(ProcessId::new(2));
-        let mut vw = ver.writer();
-        let mut vr = ver.reader(ProcessId::new(2));
-        aw.write(7).unwrap();
-        vw.write(7).unwrap();
-        assert_eq!(ar.read().unwrap(), 7);
-
         // Algorithm 2 accumulates every write in R1 (its history is
         // unbounded by design), so the write cost is measured as the mean
         // over a bounded burst on a fresh register.
@@ -45,17 +39,18 @@ fn bench_ops(c: &mut Criterion) {
                 criterion::BatchSize::PerIteration,
             );
         });
-        group.bench_with_input(BenchmarkId::new("verify", n), &n, |b, _| {
-            b.iter(|| assert!(ar.verify(&7).unwrap()));
-        });
+
         // The headline comparison: verified read vs plain read.
+        let mut auth = FamilyFixture::<AuthenticatedRegister<u64>>::new(n);
+        let mut ver = FamilyFixture::<VerifiableRegister<u64>>::new(n);
         group.bench_with_input(BenchmarkId::new("read_verified", n), &n, |b, _| {
-            b.iter(|| assert_eq!(ar.read().unwrap(), 7));
+            b.iter(|| assert_eq!(auth.reader.read().unwrap(), 7));
         });
         group.bench_with_input(BenchmarkId::new("read_plain_verifiable", n), &n, |b, _| {
-            b.iter(|| assert_eq!(vr.read().unwrap(), 7));
+            b.iter(|| assert_eq!(ver.reader.read().unwrap(), 7));
         });
-        system.shutdown();
+        auth.shutdown();
+        ver.shutdown();
     }
     group.finish();
 }

@@ -1,16 +1,18 @@
 //! B3 — the §9.1 trade-off: a sticky `Write` must wait for `n − f`
 //! witnesses before returning (a verifiable `Write` returns after one base
 //! write). Only the *first* sticky write pays the wait; this bench measures
-//! it by reinstalling the register per iteration, against the per-op costs
-//! of the other registers for context.
+//! it by reinstalling the register per iteration. Steady-state per-op costs
+//! come from the generic family harness.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use byzreg_bench::generic::{bench_family_ops, FamilyFixture};
 use byzreg_bench::{bench_system, SWEEP};
 use byzreg_core::{StickyRegister, VerifiableRegister};
-use byzreg_runtime::ProcessId;
 
 fn bench_ops(c: &mut Criterion) {
+    bench_family_ops::<StickyRegister<u64>>(c, &SWEEP);
+
     let mut group = c.benchmark_group("sticky");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
@@ -33,24 +35,13 @@ fn bench_ops(c: &mut Criterion) {
             );
         });
 
-        // Context: verifiable write on a shared long-lived system.
-        let system = bench_system(n);
-        let ver = VerifiableRegister::install(&system, 0u64);
-        let mut vw = ver.writer();
+        // Context: a verifiable write (one base-register step) at the
+        // same size, on a primed long-lived fixture.
+        let mut ver = FamilyFixture::<VerifiableRegister<u64>>::new(n);
         group.bench_with_input(BenchmarkId::new("verifiable_write", n), &n, |b, _| {
-            b.iter(|| vw.write(7).unwrap());
+            b.iter(|| ver.writer.write(7).unwrap());
         });
-
-        // Steady-state sticky read after the value settled.
-        let sticky = StickyRegister::install(&system);
-        let mut sw = sticky.writer();
-        sw.write(7u64).unwrap();
-        let mut sr = sticky.reader(ProcessId::new(2));
-        assert_eq!(sr.read().unwrap(), Some(7));
-        group.bench_with_input(BenchmarkId::new("read_settled", n), &n, |b, _| {
-            b.iter(|| assert_eq!(sr.read().unwrap(), Some(7)));
-        });
-        system.shutdown();
+        ver.shutdown();
     }
     group.finish();
 }

@@ -1,45 +1,18 @@
 //! B1 — operation latency of the verifiable register (Algorithm 1) as a
 //! function of system size `n` (with `f = ⌊(n−1)/3⌋`).
+//!
+//! The operation loop is the generic family harness of
+//! `byzreg_bench::generic`, instantiated for Algorithm 1 — the same code
+//! the B2/B3 benches run for the other families.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
 
-use byzreg_bench::{bench_system, SWEEP};
+use byzreg_bench::generic::bench_family_ops;
+use byzreg_bench::SWEEP;
 use byzreg_core::VerifiableRegister;
-use byzreg_runtime::ProcessId;
 
 fn bench_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("verifiable");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    for n in SWEEP {
-        let system = bench_system(n);
-        let reg = VerifiableRegister::install(&system, 0u64);
-        let mut w = reg.writer();
-        let mut r = reg.reader(ProcessId::new(2));
-        w.write(7).unwrap();
-        w.sign(&7).unwrap();
-        // Prime the witness propagation once.
-        assert!(r.verify(&7).unwrap());
-
-        group.bench_with_input(BenchmarkId::new("write", n), &n, |b, _| {
-            b.iter(|| w.write(7).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("sign", n), &n, |b, _| {
-            b.iter(|| w.sign(&7).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("read", n), &n, |b, _| {
-            b.iter(|| r.read().unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("verify_true", n), &n, |b, _| {
-            b.iter(|| assert!(r.verify(&7).unwrap()));
-        });
-        group.bench_with_input(BenchmarkId::new("verify_false", n), &n, |b, _| {
-            b.iter(|| assert!(!r.verify(&8).unwrap()));
-        });
-        system.shutdown();
-    }
-    group.finish();
+    bench_family_ops::<VerifiableRegister<u64>>(c, &SWEEP);
 }
 
 criterion_group!(benches, bench_ops);

@@ -11,7 +11,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use byzreg_apps::{AssetTransfer, AtomicSnapshot, ReliableBroadcast};
+use byzreg_bench::generic::quick_family_latencies;
 use byzreg_bench::{fmt_ns, measure};
+use byzreg_core::api::SignatureRegister;
 use byzreg_core::test_or_set::naive::{NaiveTestOrSet, Rule};
 use byzreg_core::test_or_set::{
     TosFromAuthenticated, TosFromSticky, TosFromVerifiable, TosSetter, TosTester,
@@ -101,7 +103,11 @@ fn e1_impossibility() {
                 Ok(()) => "no violation".into(),
             }
         );
-        println!("      pa.Test -> {}, pb.Test' -> {}  (paper: both must be 1)", u8::from(a), u8::from(b));
+        println!(
+            "      pa.Test -> {}, pb.Test' -> {}  (paper: both must be 1)",
+            u8::from(a),
+            u8::from(b)
+        );
         system.shutdown();
     }
 
@@ -169,7 +175,10 @@ fn e1_impossibility() {
 
     // Contrast: Obs. 30 construction under both adversaries at n = 4.
     {
-        let system = System::builder(4).scheduling(Scheduling::Chaotic(4)).byzantine(ProcessId::new(1)).build();
+        let system = System::builder(4)
+            .scheduling(Scheduling::Chaotic(4))
+            .byzantine(ProcessId::new(1))
+            .build();
         let tos = TosFromVerifiable::install(&system);
         let ports = tos.backing().attack_ports(ProcessId::new(1));
         ports.r_star.as_ref().unwrap().write(1);
@@ -204,13 +213,17 @@ const SEEDS: std::ops::Range<u64> = 0..8;
 
 fn e2_verifiable() {
     println!("E2  Theorem 14: verifiable register (Algorithm 1)");
-    println!("    {:>4} {:>4} {:>10} {:>12} {:>12} {:>14}", "n", "f", "runs", "correct-wr", "byz-writer", "all checks");
+    println!(
+        "    {:>4} {:>4} {:>10} {:>12} {:>12} {:>14}",
+        "n", "f", "runs", "correct-wr", "byz-writer", "all checks"
+    );
     for (n, f) in GRID {
         let mut pass_correct = 0;
         let mut pass_byz = 0;
         for seed in SEEDS {
             // Correct run.
-            let system = System::builder(n).resilience(f).scheduling(Scheduling::Chaotic(seed)).build();
+            let system =
+                System::builder(n).resilience(f).scheduling(Scheduling::Chaotic(seed)).build();
             let reg = VerifiableRegister::install(&system, 0u32);
             let mut w = reg.writer();
             let mut r = reg.reader(ProcessId::new(2));
@@ -241,7 +254,10 @@ fn e2_verifiable() {
                 .build();
             let reg = VerifiableRegister::install(&system, 0u32);
             let ports = reg.attack_ports(ProcessId::new(1));
-            system.spawn_byzantine(ProcessId::new(1), attacks::verifiable::lie_then_deny(ports, 7, 9));
+            system.spawn_byzantine(
+                ProcessId::new(1),
+                attacks::verifiable::lie_then_deny(ports, 7, 9),
+            );
             let mut r2 = reg.reader(ProcessId::new(2));
             let mut r3 = reg.reader(ProcessId::new(3));
             for _ in 0..3 {
@@ -251,14 +267,22 @@ fn e2_verifiable() {
             }
             system.shutdown();
             let ops = reg.history().complete_ops();
-            if verifiable_relay(&ops).is_ok() && check_byzantine_verifiable(&0u32, &ops).is_linearizable() {
+            if verifiable_relay(&ops).is_ok()
+                && check_byzantine_verifiable(&0u32, &ops).is_linearizable()
+            {
                 pass_byz += 1;
             }
         }
         let total = SEEDS.end - SEEDS.start;
         println!(
             "    {:>4} {:>4} {:>10} {:>11}/{} {:>11}/{} {:>14}",
-            n, f, 2 * total, pass_correct, total, pass_byz, total,
+            n,
+            f,
+            2 * total,
+            pass_correct,
+            total,
+            pass_byz,
+            total,
             if pass_correct == total && pass_byz == total { "PASS" } else { "FAIL" }
         );
     }
@@ -267,12 +291,16 @@ fn e2_verifiable() {
 
 fn e3_authenticated() {
     println!("E3  Theorem 20: authenticated register (Algorithm 2)");
-    println!("    {:>4} {:>4} {:>10} {:>12} {:>12} {:>14}", "n", "f", "runs", "correct-wr", "byz-writer", "all checks");
+    println!(
+        "    {:>4} {:>4} {:>10} {:>12} {:>12} {:>14}",
+        "n", "f", "runs", "correct-wr", "byz-writer", "all checks"
+    );
     for (n, f) in GRID {
         let mut pass_correct = 0;
         let mut pass_byz = 0;
         for seed in SEEDS {
-            let system = System::builder(n).resilience(f).scheduling(Scheduling::Chaotic(seed)).build();
+            let system =
+                System::builder(n).resilience(f).scheduling(Scheduling::Chaotic(seed)).build();
             let reg = AuthenticatedRegister::install(&system, 0u32);
             let mut w = reg.writer();
             let mut r = reg.reader(ProcessId::new(2));
@@ -299,7 +327,10 @@ fn e3_authenticated() {
                 .build();
             let reg = AuthenticatedRegister::install(&system, 0u32);
             let ports = reg.attack_ports(ProcessId::new(1));
-            system.spawn_byzantine(ProcessId::new(1), attacks::authenticated::write_then_erase(ports, 5));
+            system.spawn_byzantine(
+                ProcessId::new(1),
+                attacks::authenticated::write_then_erase(ports, 5),
+            );
             let mut r2 = reg.reader(ProcessId::new(2));
             for _ in 0..3 {
                 let _ = r2.read().unwrap();
@@ -316,7 +347,13 @@ fn e3_authenticated() {
         let total = SEEDS.end - SEEDS.start;
         println!(
             "    {:>4} {:>4} {:>10} {:>11}/{} {:>11}/{} {:>14}",
-            n, f, 2 * total, pass_correct, total, pass_byz, total,
+            n,
+            f,
+            2 * total,
+            pass_correct,
+            total,
+            pass_byz,
+            total,
             if pass_correct == total && pass_byz == total { "PASS" } else { "FAIL" }
         );
     }
@@ -325,12 +362,16 @@ fn e3_authenticated() {
 
 fn e4_sticky() {
     println!("E4  Theorem 25: sticky register (Algorithm 3)");
-    println!("    {:>4} {:>4} {:>10} {:>12} {:>12} {:>14}", "n", "f", "runs", "correct-wr", "equivocator", "all checks");
+    println!(
+        "    {:>4} {:>4} {:>10} {:>12} {:>12} {:>14}",
+        "n", "f", "runs", "correct-wr", "equivocator", "all checks"
+    );
     for (n, f) in GRID {
         let mut pass_correct = 0;
         let mut pass_byz = 0;
         for seed in SEEDS {
-            let system = System::builder(n).resilience(f).scheduling(Scheduling::Chaotic(seed)).build();
+            let system =
+                System::builder(n).resilience(f).scheduling(Scheduling::Chaotic(seed)).build();
             let reg = StickyRegister::install(&system);
             let mut w = reg.writer();
             let mut r = reg.reader(ProcessId::new(2));
@@ -370,7 +411,13 @@ fn e4_sticky() {
         let total = SEEDS.end - SEEDS.start;
         println!(
             "    {:>4} {:>4} {:>10} {:>11}/{} {:>11}/{} {:>14}",
-            n, f, 2 * total, pass_correct, total, pass_byz, total,
+            n,
+            f,
+            2 * total,
+            pass_correct,
+            total,
+            pass_byz,
+            total,
             if pass_correct == total && pass_byz == total { "PASS" } else { "FAIL" }
         );
     }
@@ -389,36 +436,56 @@ fn e5_test_or_set() {
         let mut pass = 0;
         for seed in SEEDS {
             let system = System::builder(4).scheduling(Scheduling::Chaotic(seed)).build();
-            let history;
-            match which {
+            let history = match which {
                 "verifiable" => {
                     let tos = TosFromVerifiable::install(&system);
-                    drive_tos(tos.setter(), vec![tos.tester(ProcessId::new(2)), tos.tester(ProcessId::new(3))]);
-                    history = tos.history();
+                    drive_tos(
+                        tos.setter(),
+                        vec![tos.tester(ProcessId::new(2)), tos.tester(ProcessId::new(3))],
+                    );
+                    tos.history()
                 }
                 "authenticated" => {
                     let tos = TosFromAuthenticated::install(&system);
-                    drive_tos(tos.setter(), vec![tos.tester(ProcessId::new(2)), tos.tester(ProcessId::new(3))]);
-                    history = tos.history();
+                    drive_tos(
+                        tos.setter(),
+                        vec![tos.tester(ProcessId::new(2)), tos.tester(ProcessId::new(3))],
+                    );
+                    tos.history()
                 }
                 _ => {
                     let tos = TosFromSticky::install(&system);
-                    drive_tos(tos.setter(), vec![tos.tester(ProcessId::new(2)), tos.tester(ProcessId::new(3))]);
-                    history = tos.history();
+                    drive_tos(
+                        tos.setter(),
+                        vec![tos.tester(ProcessId::new(2)), tos.tester(ProcessId::new(3))],
+                    );
+                    tos.history()
                 }
-            }
+            };
             system.shutdown();
             let ops = history.complete_ops();
-            if test_or_set_monitor(true, &ops).is_ok() && check(&TestOrSetSpec, &ops).is_linearizable() {
+            if test_or_set_monitor(true, &ops).is_ok()
+                && check(&TestOrSetSpec, &ops).is_linearizable()
+            {
                 pass += 1;
             }
         }
-        println!("    {:<20} {:>10} {:>13}/{} {}", which, total, pass, total, if pass == total { "PASS" } else { "FAIL" });
+        println!(
+            "    {:<20} {:>10} {:>13}/{} {}",
+            which,
+            total,
+            pass,
+            total,
+            if pass == total { "PASS" } else { "FAIL" }
+        );
     }
     println!();
 }
 
-fn drive_tos<S: TosSetter + 'static, T: TosTester + Send + 'static>(mut setter: S, testers: Vec<T>) {
+fn drive_tos<S: TosSetter + 'static, T: TosTester + Send + 'static>(
+    mut setter: S,
+    testers: Vec<T>,
+) {
     let mut handles = Vec::new();
     handles.push(std::thread::spawn(move || {
         setter.set().unwrap();
@@ -450,7 +517,9 @@ fn e6_message_passing() {
     let r = reg.client(ProcessId::new(2));
     w.write(3);
     let (ts, v) = r.read();
-    println!("    base MP register, n=4, 1 Byzantine flooder: read -> ({ts}, {v})  [expect (1, 3)]");
+    println!(
+        "    base MP register, n=4, 1 Byzantine flooder: read -> ({ts}, {v})  [expect (1, 3)]"
+    );
     reg.shutdown();
 
     // Algorithm 1 composed over the MP factory.
@@ -524,43 +593,25 @@ fn e7_applications() {
 // B — latency summary (quick version of the Criterion benches)
 // ---------------------------------------------------------------------------
 
+fn b_family_rows<R: SignatureRegister<u64>>(id: &str) {
+    // One generic measurement loop for all three register families
+    // (write/read/verify through the SignatureRegister trait layer).
+    for n in [4usize, 7, 10] {
+        let (write, read, verify) = quick_family_latencies::<R>(n);
+        let fam = R::FAMILY;
+        println!("    {:<44} {:>12}", format!("{id} {fam} n={n}: write"), fmt_ns(write));
+        println!("    {:<44} {:>12}", format!("{id} {fam} n={n}: read"), fmt_ns(read));
+        println!("    {:<44} {:>12}", format!("{id} {fam} n={n}: verify(true)"), fmt_ns(verify));
+    }
+}
+
 fn b_latency_summary() {
     println!("B   latency summary (quick in-process measurements; see `cargo bench` for stats)");
     println!("    {:<44} {:>12}", "operation", "mean");
 
-    for n in [4usize, 7, 10] {
-        let system = byzreg_bench::bench_system(n);
-        let reg = VerifiableRegister::install(&system, 0u64);
-        let mut w = reg.writer();
-        let mut r = reg.reader(ProcessId::new(2));
-        w.write(7).unwrap();
-        w.sign(&7).unwrap();
-        assert!(r.verify(&7).unwrap());
-        let verify = measure(20, 200, || {
-            assert!(r.verify(&7).unwrap());
-        });
-        let read = measure(20, 200, || {
-            let _ = r.read().unwrap();
-        });
-        let write = measure(20, 200, || w.write(7).unwrap());
-        println!("    {:<44} {:>12}", format!("B1 verifiable n={n}: write"), fmt_ns(write));
-        println!("    {:<44} {:>12}", format!("B1 verifiable n={n}: read"), fmt_ns(read));
-        println!("    {:<44} {:>12}", format!("B1 verifiable n={n}: verify(true)"), fmt_ns(verify));
-        system.shutdown();
-    }
-
-    // B2: authenticated read embeds verify.
-    let system = byzreg_bench::bench_system(4);
-    let reg = AuthenticatedRegister::install(&system, 0u64);
-    let mut w = reg.writer();
-    let mut r = reg.reader(ProcessId::new(2));
-    w.write(7).unwrap();
-    assert_eq!(r.read().unwrap(), 7);
-    let read_verified = measure(20, 200, || {
-        let _ = r.read().unwrap();
-    });
-    println!("    {:<44} {:>12}", "B2 authenticated n=4: read (verified)", fmt_ns(read_verified));
-    system.shutdown();
+    b_family_rows::<VerifiableRegister<u64>>("B1");
+    b_family_rows::<AuthenticatedRegister<u64>>("B2");
+    b_family_rows::<StickyRegister<u64>>("B3");
 
     // B3: sticky first-write wait.
     let first_write = measure(2, 20, || {
@@ -570,7 +621,11 @@ fn b_latency_summary() {
         w.write(7u64).unwrap();
         system.shutdown();
     });
-    println!("    {:<44} {:>12}", "B3 sticky n=4: install + first write (n-f wait)", fmt_ns(first_write));
+    println!(
+        "    {:<44} {:>12}",
+        "B3 sticky n=4: install + first write (n-f wait)",
+        fmt_ns(first_write)
+    );
 
     // B4: signature baseline at 50 µs crypto.
     let system = byzreg_bench::bench_system(4);
@@ -583,7 +638,11 @@ fn b_latency_summary() {
     let signed_verify = measure(5, 50, || {
         assert!(r.verify(&7).unwrap());
     });
-    println!("    {:<44} {:>12}", "B4 signed baseline (50µs crypto): verify", fmt_ns(signed_verify));
+    println!(
+        "    {:<44} {:>12}",
+        "B4 signed baseline (50µs crypto): verify",
+        fmt_ns(signed_verify)
+    );
     system.shutdown();
 
     // B6: MP substrate.

@@ -1,0 +1,141 @@
+//! Generic benchmark and measurement harnesses over the
+//! [`SignatureRegister`] trait layer.
+//!
+//! Before the trait layer existed, every register family had its own
+//! copy of the same fixture code (install, take handles, prime the
+//! witness propagation) and the same operation loops. The harnesses
+//! here are written once against the traits and instantiated per family
+//! by the B1–B3 benches and the `experiments` driver.
+
+use criterion::{BenchmarkId, Criterion};
+
+use byzreg_core::api::{Family, SignatureRegister, SignatureSigner, SignatureVerifier};
+use byzreg_runtime::{ProcessId, System};
+
+use crate::{bench_system, measure};
+
+/// A primed register-family fixture: an installed register on a
+/// free-running system, with the writer handle, one reader handle, and
+/// the value `7` written, signed, and verified once (so witness
+/// propagation is warm before measurement starts).
+pub struct FamilyFixture<R: SignatureRegister<u64>> {
+    system: System,
+    /// The register instance (kept alive for the fixture's lifetime).
+    pub register: R,
+    /// The unique writer handle.
+    pub writer: R::Signer,
+    /// Reader handle of `p2`.
+    pub reader: R::Verifier,
+}
+
+impl<R: SignatureRegister<u64>> FamilyFixture<R> {
+    /// Installs and primes the fixture on an `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if priming fails (shutdown mid-setup) or `n <= 3f`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let system = bench_system(n);
+        let register = R::install_default(&system, 0);
+        let mut writer = register.signer();
+        let mut reader = register.verifier(ProcessId::new(2));
+        writer.write_value(7).expect("prime write");
+        assert!(writer.sign_value(&7).expect("prime sign"));
+        assert!(reader.verify_value(&7).expect("prime verify"), "{}", R::FAMILY);
+        FamilyFixture { system, register, writer, reader }
+    }
+
+    /// Shuts the hosting system down.
+    pub fn shutdown(self) {
+        self.system.shutdown();
+    }
+}
+
+/// The operation latencies every family exposes through the trait
+/// layer, benchmarked across `sweep` system sizes: steady-state
+/// `write`, `read`, `verify(signed)`, and `verify(unsigned)`.
+///
+/// Family-specific costs (the sticky first-write wait, the
+/// authenticated write burst) stay in the per-family bench files; this
+/// covers the shared surface without per-family copy-paste.
+pub fn bench_family_ops<R: SignatureRegister<u64>>(c: &mut Criterion, sweep: &[usize]) {
+    let mut group = c.benchmark_group(R::FAMILY.label());
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for &n in sweep {
+        let mut fx = FamilyFixture::<R>::new(n);
+        // Algorithm 2's R1 accumulates every write, so an open-ended write
+        // loop on a long-lived register both slows itself down and bloats
+        // the register the later read/verify benches measure against; its
+        // write cost is covered by the bounded-burst bench in
+        // benches/authenticated.rs instead.
+        if R::FAMILY != Family::Authenticated {
+            group.bench_with_input(BenchmarkId::new("write", n), &n, |b, _| {
+                b.iter(|| fx.writer.write_value(7).unwrap());
+            });
+        }
+        // `sign` does real work only for the verifiable family; for the
+        // implicitly-signed families it is a constant `Ok(true)` and a
+        // bench row would be noise.
+        if R::FAMILY == Family::Verifiable {
+            group.bench_with_input(BenchmarkId::new("sign", n), &n, |b, _| {
+                b.iter(|| assert!(fx.writer.sign_value(&7).unwrap()));
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("read", n), &n, |b, _| {
+            b.iter(|| assert!(fx.reader.read_value().unwrap().is_some()));
+        });
+        group.bench_with_input(BenchmarkId::new("verify_true", n), &n, |b, _| {
+            b.iter(|| assert!(fx.reader.verify_value(&7).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("verify_false", n), &n, |b, _| {
+            b.iter(|| assert!(!fx.reader.verify_value(&8).unwrap()));
+        });
+        fx.shutdown();
+    }
+    group.finish();
+}
+
+/// Quick (non-criterion) mean latencies for the `experiments` driver's
+/// B-table: `(write, read, verify_true)` in nanoseconds at size `n`.
+///
+/// `read` and `verify` are measured *before* `write` so the
+/// authenticated family's accumulating `R1` (one tuple per write) does
+/// not bloat the register they run against; the authenticated `write`
+/// mean is itself taken over a short bounded burst for the same reason
+/// (cf. the `write_burst16` bench in `benches/authenticated.rs`).
+#[must_use]
+pub fn quick_family_latencies<R: SignatureRegister<u64>>(n: usize) -> (f64, f64, f64) {
+    let mut fx = FamilyFixture::<R>::new(n);
+    let read = measure(20, 200, || {
+        let _ = fx.reader.read_value().unwrap();
+    });
+    let verify = measure(20, 200, || {
+        assert!(fx.reader.verify_value(&7).unwrap());
+    });
+    let (warmup, iters) = if R::FAMILY == Family::Authenticated { (4, 28) } else { (20, 200) };
+    let write = measure(warmup, iters, || fx.writer.write_value(7).unwrap());
+    fx.shutdown();
+    (write, read, verify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
+
+    #[test]
+    fn fixture_primes_every_family() {
+        FamilyFixture::<VerifiableRegister<u64>>::new(4).shutdown();
+        FamilyFixture::<AuthenticatedRegister<u64>>::new(4).shutdown();
+        FamilyFixture::<StickyRegister<u64>>::new(4).shutdown();
+    }
+
+    #[test]
+    fn quick_latencies_are_positive() {
+        let (w, r, v) = quick_family_latencies::<StickyRegister<u64>>(4);
+        assert!(w >= 0.0 && r >= 0.0 && v >= 0.0);
+    }
+}

@@ -3,9 +3,14 @@
 //! Workload helpers shared by the Criterion benches and the `experiments`
 //! binary. Each experiment/bench id (E1–E7, B1–B7) is defined in
 //! `EXPERIMENTS.md` and `DESIGN.md` §6.
+//!
+//! The [`generic`] module hosts harnesses written once against the
+//! `SignatureRegister` trait layer and instantiated per register family.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod generic;
 
 use byzreg_runtime::{Scheduling, System};
 

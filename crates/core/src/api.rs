@@ -1,0 +1,357 @@
+//! The `SignatureRegister` trait layer: one interface over all three
+//! register families of the paper.
+//!
+//! Algorithms 1–3 share a shape — a unique writer installs values, any
+//! reader can later check them, and a check that once succeeded can never
+//! be denied — but differ in *when* a value becomes checkable:
+//!
+//! | family | `sign_value` | `verify_value(v)` is `true` iff |
+//! |---|---|---|
+//! | [`VerifiableRegister`] | explicit `Sign(v)` | a successful `Sign(v)` happened |
+//! | [`AuthenticatedRegister`] | implicit (each write auto-signs) | `v` was written (or `v = v0`) |
+//! | [`StickyRegister`] | implicit (the first write wins) | `v` is the stuck value |
+//!
+//! The traits make that difference a *parameter* instead of three parallel
+//! APIs: generic harnesses (see `byzreg-bench` and `tests/families.rs`)
+//! drive every family through one code path, over any
+//! [`RegisterFactory`] — including the message-passing emulation of
+//! `byzreg-mp`.
+//!
+//! # Example
+//!
+//! ```
+//! use byzreg_core::api::{SignatureRegister, SignatureSigner, SignatureVerifier};
+//! use byzreg_core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
+//! use byzreg_runtime::{ProcessId, Result, System};
+//!
+//! fn smoke<R: SignatureRegister<u64>>(system: &System) -> Result<bool> {
+//!     let reg = R::install_default(system, 0);
+//!     let mut writer = reg.signer();
+//!     let mut reader = reg.verifier(ProcessId::new(2));
+//!     writer.write_value(7)?;
+//!     writer.sign_value(&7)?;
+//!     reader.verify_value(&7)
+//! }
+//!
+//! # fn main() -> Result<()> {
+//! let system = System::builder(4).build();
+//! assert!(smoke::<VerifiableRegister<u64>>(&system)?);
+//! assert!(smoke::<AuthenticatedRegister<u64>>(&system)?);
+//! assert!(smoke::<StickyRegister<u64>>(&system)?);
+//! system.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use byzreg_runtime::{ProcessId, RegisterFactory, Result, System, Value};
+
+use crate::authenticated::{AuthenticatedReader, AuthenticatedRegister, AuthenticatedWriter};
+use crate::sticky::{StickyReader, StickyRegister, StickyWriter};
+use crate::verifiable::{VerifiableReader, VerifiableRegister, VerifiableWriter};
+
+/// The three register families of the paper, for labeling generic output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Algorithm 1: explicit `Sign`/`Verify`.
+    Verifiable,
+    /// Algorithm 2: every write atomically signed.
+    Authenticated,
+    /// Algorithm 3: the first write sticks forever.
+    Sticky,
+}
+
+impl Family {
+    /// A short lowercase label (stable; used in bench ids and test names).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Verifiable => "verifiable",
+            Family::Authenticated => "authenticated",
+            Family::Sticky => "sticky",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A writer handle in the trait layer.
+pub trait SignatureSigner<V: Value>: Send {
+    /// Writes `v` into the register.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    fn write_value(&mut self, v: V) -> Result<()>;
+
+    /// Makes `v` verifiable. Families whose writes are implicitly signed
+    /// (authenticated, sticky) return `Ok(true)` without taking steps.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    fn sign_value(&mut self, v: &V) -> Result<bool>;
+}
+
+/// A reader handle in the trait layer.
+pub trait SignatureVerifier<V: Value>: Send {
+    /// The reader's process id.
+    fn pid(&self) -> ProcessId;
+
+    /// Reads the register; `None` is the sticky `⊥` (the other families
+    /// always return `Some`).
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    fn read_value(&mut self) -> Result<Option<V>>;
+
+    /// Checks `v`'s signature property — `Verify(v)` for Algorithms 1–2,
+    /// "is `v` the stuck value" for Algorithm 3. Once this returns `true`
+    /// for a correct process, it returns `true` forever, for everyone.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    fn verify_value(&mut self, v: &V) -> Result<bool>;
+}
+
+/// An installed register instance of one family.
+///
+/// `v0` is the family's initial value; the sticky register ignores it (its
+/// initial content is `⊥` by Definition 21).
+pub trait SignatureRegister<V: Value>: Sized + Send + Sync + 'static {
+    /// This family's writer handle type.
+    type Signer: SignatureSigner<V>;
+    /// This family's reader handle type.
+    type Verifier: SignatureVerifier<V>;
+
+    /// Which family this is (for labels in generic harnesses).
+    const FAMILY: Family;
+
+    /// Installs the register on `system` with in-process base registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f` (Theorem 31).
+    fn install_default(system: &System, v0: V) -> Self {
+        Self::install_with_factory(system, v0, &byzreg_runtime::LocalFactory)
+    }
+
+    /// Installs the register with base registers from `factory` (e.g. the
+    /// message-passing emulation of `byzreg-mp`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    fn install_with_factory<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self;
+
+    /// The unique writer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if taken twice or if the writer is declared Byzantine.
+    fn signer(&self) -> Self::Signer;
+
+    /// The reader handle for `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is the writer, taken twice, or declared Byzantine.
+    fn verifier(&self, pid: ProcessId) -> Self::Verifier;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: verifiable
+// ---------------------------------------------------------------------------
+
+impl<V: Value> SignatureRegister<V> for VerifiableRegister<V> {
+    type Signer = VerifiableWriter<V>;
+    type Verifier = VerifiableReader<V>;
+    const FAMILY: Family = Family::Verifiable;
+
+    fn install_with_factory<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self {
+        VerifiableRegister::install_with(system, v0, factory)
+    }
+
+    fn signer(&self) -> Self::Signer {
+        self.writer()
+    }
+
+    fn verifier(&self, pid: ProcessId) -> Self::Verifier {
+        self.reader(pid)
+    }
+}
+
+impl<V: Value> SignatureSigner<V> for VerifiableWriter<V> {
+    fn write_value(&mut self, v: V) -> Result<()> {
+        self.write(v)
+    }
+
+    fn sign_value(&mut self, v: &V) -> Result<bool> {
+        self.sign(v)
+    }
+}
+
+impl<V: Value> SignatureVerifier<V> for VerifiableReader<V> {
+    fn pid(&self) -> ProcessId {
+        VerifiableReader::pid(self)
+    }
+
+    fn read_value(&mut self) -> Result<Option<V>> {
+        self.read().map(Some)
+    }
+
+    fn verify_value(&mut self, v: &V) -> Result<bool> {
+        self.verify(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: authenticated
+// ---------------------------------------------------------------------------
+
+impl<V: Value> SignatureRegister<V> for AuthenticatedRegister<V> {
+    type Signer = AuthenticatedWriter<V>;
+    type Verifier = AuthenticatedReader<V>;
+    const FAMILY: Family = Family::Authenticated;
+
+    fn install_with_factory<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self {
+        AuthenticatedRegister::install_with(system, v0, factory)
+    }
+
+    fn signer(&self) -> Self::Signer {
+        self.writer()
+    }
+
+    fn verifier(&self, pid: ProcessId) -> Self::Verifier {
+        self.reader(pid)
+    }
+}
+
+impl<V: Value> SignatureSigner<V> for AuthenticatedWriter<V> {
+    fn write_value(&mut self, v: V) -> Result<()> {
+        self.write(v)
+    }
+
+    /// Every authenticated write is atomically signed (Definition 15);
+    /// there is nothing left to do.
+    fn sign_value(&mut self, _v: &V) -> Result<bool> {
+        Ok(true)
+    }
+}
+
+impl<V: Value> SignatureVerifier<V> for AuthenticatedReader<V> {
+    fn pid(&self) -> ProcessId {
+        AuthenticatedReader::pid(self)
+    }
+
+    fn read_value(&mut self) -> Result<Option<V>> {
+        self.read().map(Some)
+    }
+
+    fn verify_value(&mut self, v: &V) -> Result<bool> {
+        self.verify(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3: sticky
+// ---------------------------------------------------------------------------
+
+impl<V: Value> SignatureRegister<V> for StickyRegister<V> {
+    type Signer = StickyWriter<V>;
+    type Verifier = StickyReader<V>;
+    const FAMILY: Family = Family::Sticky;
+
+    fn install_with_factory<F: RegisterFactory>(system: &System, _v0: V, factory: &F) -> Self {
+        // The sticky register's initial value is ⊥ (Definition 21); v0 is
+        // meaningless for this family and deliberately ignored.
+        StickyRegister::install_with(system, factory)
+    }
+
+    fn signer(&self) -> Self::Signer {
+        self.writer()
+    }
+
+    fn verifier(&self, pid: ProcessId) -> Self::Verifier {
+        self.reader(pid)
+    }
+}
+
+impl<V: Value> SignatureSigner<V> for StickyWriter<V> {
+    fn write_value(&mut self, v: V) -> Result<()> {
+        self.write(v)
+    }
+
+    /// A completed sticky write is already unforgeable and undeniable
+    /// (Obs. 22–24); signing is implicit in `write_value`.
+    fn sign_value(&mut self, _v: &V) -> Result<bool> {
+        Ok(true)
+    }
+}
+
+impl<V: Value> SignatureVerifier<V> for StickyReader<V> {
+    fn pid(&self) -> ProcessId {
+        StickyReader::pid(self)
+    }
+
+    fn read_value(&mut self) -> Result<Option<V>> {
+        self.read()
+    }
+
+    /// `verify_value(v)` over a sticky register: "is `v` the register's
+    /// immutable content" — first-write-wins makes this a signature check.
+    fn verify_value(&mut self, v: &V) -> Result<bool> {
+        Ok(self.read()?.as_ref() == Some(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_runtime::{Scheduling, System};
+
+    fn family_smoke<R: SignatureRegister<u32>>(system: &System) {
+        let reg = R::install_default(system, 0);
+        let mut w = reg.signer();
+        let mut r = reg.verifier(ProcessId::new(2));
+        assert!(!r.verify_value(&7).unwrap(), "{}: nothing signed yet", R::FAMILY);
+        w.write_value(7).unwrap();
+        assert!(w.sign_value(&7).unwrap(), "{}: sign must succeed", R::FAMILY);
+        assert_eq!(r.read_value().unwrap(), Some(7), "{}", R::FAMILY);
+        assert!(r.verify_value(&7).unwrap(), "{}: signed value verifies", R::FAMILY);
+    }
+
+    #[test]
+    fn all_families_pass_one_generic_smoke() {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(5)).build();
+        family_smoke::<VerifiableRegister<u32>>(&system);
+        family_smoke::<AuthenticatedRegister<u32>>(&system);
+        family_smoke::<StickyRegister<u32>>(&system);
+        system.shutdown();
+    }
+
+    #[test]
+    fn family_labels_are_stable() {
+        assert_eq!(Family::Verifiable.label(), "verifiable");
+        assert_eq!(Family::Authenticated.to_string(), "authenticated");
+        assert_eq!(Family::Sticky.label(), "sticky");
+    }
+
+    #[test]
+    fn sticky_verify_is_first_write_wins() {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(6)).build();
+        let reg = <StickyRegister<u32> as SignatureRegister<u32>>::install_default(&system, 0);
+        let mut w = reg.signer();
+        let mut r = reg.verifier(ProcessId::new(3));
+        w.write_value(5).unwrap();
+        w.write_value(9).unwrap(); // no-op: the register is stuck on 5
+        assert!(r.verify_value(&5).unwrap());
+        assert!(!r.verify_value(&9).unwrap(), "the second write never happened");
+        system.shutdown();
+    }
+}

@@ -32,7 +32,11 @@ pub mod verifiable {
     /// Correct readers that verified `value` before the erasure must keep
     /// verifying it afterwards (Obs. 13): the erasure is a lie the witness
     /// mechanism refuses to honor.
-    pub fn lie_then_deny<V: Value>(ports: AttackPorts<V>, value: V, junk: V) -> impl ByzantineBehavior {
+    pub fn lie_then_deny<V: Value>(
+        ports: AttackPorts<V>,
+        value: V,
+        junk: V,
+    ) -> impl ByzantineBehavior {
         let mut step = 0u64;
         move || {
             step += 1;
@@ -76,8 +80,11 @@ pub mod verifiable {
                 let ck = ports.shared.askers[k].read();
                 if ck > last_seen[k] {
                     flip = !flip;
-                    let set: BTreeSet<V> =
-                        if flip { std::iter::once(value.clone()).collect() } else { BTreeSet::new() };
+                    let set: BTreeSet<V> = if flip {
+                        std::iter::once(value.clone()).collect()
+                    } else {
+                        BTreeSet::new()
+                    };
                     rep.write((set, ck));
                     last_seen[k] = ck;
                 }

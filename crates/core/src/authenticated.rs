@@ -41,15 +41,13 @@
 
 use std::collections::BTreeSet;
 
-use parking_lot::Mutex;
-
 use byzreg_runtime::{
     Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, Roles, System,
     Value, WritePort,
 };
 use byzreg_spec::registers::{AuthInv, AuthResp};
 
-use crate::quorum::{verify_quorum, AskerTracker, Reply};
+use crate::quorum::{verify_quorum, AskerTracker, Endpoints, QuorumFabric, Reply};
 
 /// A process's witness set (content of `R_j`, `j ≠ 1`).
 pub type WitnessSet<V> = BTreeSet<V>;
@@ -151,7 +149,7 @@ pub struct AuthenticatedRegister<V: Ord> {
     roles: Roles,
     v0: V,
     shared: SharedPorts<V>,
-    endpoints: Mutex<Vec<Option<ProcessPorts<V>>>>,
+    endpoints: Endpoints<ProcessPorts<V>>,
     log: HistoryLog<AuthInv<V>, AuthResp<V>>,
 }
 
@@ -189,12 +187,7 @@ impl<V: Value> AuthenticatedRegister<V> {
         Self::install_impl(system, v0, factory, roles)
     }
 
-    fn install_impl<F: RegisterFactory>(
-        system: &System,
-        v0: V,
-        factory: &F,
-        roles: Roles,
-    ) -> Self {
+    fn install_impl<F: RegisterFactory>(system: &System, v0: V, factory: &F, roles: Roles) -> Self {
         let env = system.env().clone();
         env.require_n_gt_3f();
         let n = env.n();
@@ -216,37 +209,16 @@ impl<V: Value> AuthenticatedRegister<V> {
             witness_r.push(r);
         }
 
-        // R_{j,k}: reply registers; initially ⟨∅, 0⟩.
-        let mut replies_w: Vec<Vec<WritePort<Reply<V>>>> = Vec::with_capacity(n);
-        let mut replies_r: Vec<Vec<ReadPort<Reply<V>>>> = Vec::with_capacity(n);
-        for j in 1..=n {
-            let mut row_w = Vec::with_capacity(n - 1);
-            let mut row_r = Vec::with_capacity(n - 1);
-            for k in 2..=n {
-                let (w, r) = factory.create(
-                    &env,
-                    roles.actual(j),
-                    format!("R[{j},{k}]"),
-                    (WitnessSet::<V>::new(), 0u64),
-                );
-                row_w.push(w);
-                row_r.push(r);
-            }
-            replies_w.push(row_w);
-            replies_r.push(row_r);
-        }
+        // R_{j,k} reply registers (initially ⟨∅, 0⟩) and C_k round counters:
+        // the shared quorum fabric of §5.1.
+        let fabric = QuorumFabric::install(&env, factory, &roles, WitnessSet::<V>::new());
 
-        // C_k: reader round counters.
-        let mut asker_w = Vec::with_capacity(n - 1);
-        let mut asker_r = Vec::with_capacity(n - 1);
-        for k in 2..=n {
-            let (w, r) = factory.create(&env, roles.actual(k), format!("C[{k}]"), 0u64);
-            asker_w.push(w);
-            asker_r.push(r);
-        }
-
-        let shared =
-            SharedPorts { r1: r1_r, witness: witness_r, replies: replies_r, askers: asker_r };
+        let shared = SharedPorts {
+            r1: r1_r,
+            witness: witness_r,
+            replies: fabric.reply_matrix(),
+            askers: fabric.asker_ports(),
+        };
 
         for j in 1..=n {
             let task = HelpTask2 {
@@ -254,7 +226,7 @@ impl<V: Value> AuthenticatedRegister<V> {
                 j,
                 shared: shared.clone(),
                 witness_w: (j >= 2).then(|| witness_w[j - 2].clone()),
-                replies_w: replies_w[j - 1].clone(),
+                replies_w: fabric.reply_row(j),
                 tracker: AskerTracker::new(n - 1),
             };
             system.add_help_task(roles.actual(j), Box::new(task));
@@ -262,12 +234,12 @@ impl<V: Value> AuthenticatedRegister<V> {
 
         let mut endpoints = Vec::with_capacity(n);
         for j in 1..=n {
-            endpoints.push(Some(ProcessPorts {
+            endpoints.push(ProcessPorts {
                 r1_w: (j == 1).then(|| r1_w.clone()),
                 witness_w: (j >= 2).then(|| witness_w[j - 2].clone()),
-                replies_w: replies_w[j - 1].clone(),
-                asker_w: (j >= 2).then(|| asker_w[j - 2].clone()),
-            }));
+                replies_w: fabric.reply_row(j),
+                asker_w: fabric.asker_port(j),
+            });
         }
 
         AuthenticatedRegister {
@@ -275,7 +247,7 @@ impl<V: Value> AuthenticatedRegister<V> {
             roles,
             v0,
             shared,
-            endpoints: Mutex::new(endpoints),
+            endpoints: Endpoints::new(endpoints),
             log: HistoryLog::new(env.clock()),
         }
     }
@@ -304,9 +276,7 @@ impl<V: Value> AuthenticatedRegister<V> {
     }
 
     fn take_ports(&self, role: usize) -> ProcessPorts<V> {
-        self.endpoints.lock()[role - 1]
-            .take()
-            .unwrap_or_else(|| panic!("ports of role {role} already taken"))
+        self.endpoints.take(role)
     }
 
     /// The unique writer handle.
@@ -468,7 +438,7 @@ impl<V: Value> AuthenticatedReader<V> {
         let op = self.log.invoke(self.pid, AuthInv::Read);
         let value = self.env.run_as(self.pid, || -> Result<V> {
             let r = self.r1.read(); // line 4: r <- R1
-            // line 5: "if r is a set of tuples of the form ⟨ℓ, v⟩".
+                                    // line 5: "if r is a set of tuples of the form ⟨ℓ, v⟩".
             if let Some((_, v)) = r.freshest() {
                 // line 6 picked the max tuple; line 7: verified <- Verify(v).
                 // This is the *procedure*, not a recorded operation
@@ -563,10 +533,7 @@ impl<V: Value> byzreg_runtime::HelpTask for HelpTask2<V> {
         };
 
         // Lines 36-38: help each asker.
-        for k in askers {
-            self.replies_w[k].write((r_j.clone(), ck[k]));
-            self.tracker.acknowledge(k, ck[k]);
-        }
+        self.tracker.serve(&self.replies_w, &ck, &askers, &r_j);
         debug_assert!(self.j >= 1);
     }
 }

@@ -12,7 +12,11 @@
 //!   plus the *naive* plain-register implementations broken by the Figure 1
 //!   histories (Theorem 29),
 //! * [`attacks`] — canned Byzantine adversary strategies,
-//! * [`quorum`] — the shared `set0`/`set1` voting loop of §5.1.
+//! * [`quorum`] — the shared `set0`/`set1` voting engine of §5.1 and the
+//!   reply/asker register fabric all three algorithms install,
+//! * [`api`] — the [`SignatureRegister`] trait layer: one generic interface
+//!   (install / writer / reader, sign / verify) over all three families,
+//!   for harnesses that iterate over register types.
 //!
 //! # Quick start
 //!
@@ -39,6 +43,7 @@
 #![allow(clippy::int_plus_one)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod attacks;
 pub mod authenticated;
 pub mod quorum;
@@ -46,6 +51,7 @@ pub mod sticky;
 pub mod test_or_set;
 pub mod verifiable;
 
+pub use api::{Family, SignatureRegister, SignatureSigner, SignatureVerifier};
 pub use authenticated::{AuthenticatedReader, AuthenticatedRegister, AuthenticatedWriter};
 pub use sticky::{StickyReader, StickyRegister, StickyWriter};
 pub use test_or_set::{

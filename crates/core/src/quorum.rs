@@ -1,41 +1,68 @@
-//! The `set0`/`set1` quorum-voting loop shared by the `Verify(−)` procedures
-//! of Algorithm 1 (verifiable register) and Algorithm 2 (authenticated
-//! register).
+//! The shared §5.1 quorum machinery of Algorithms 1–3.
 //!
-//! §5.1 explains the mechanism: a reader proceeds in rounds; in each round it
-//! bumps its asker register `C_k` and waits for *one* fresh reply from any
-//! process outside `set0 ∪ set1`. A "yes" reply (the value is in the helper's
-//! witness set) moves the helper into `set1` **and resets `set0`**, giving
-//! "no"-voters the opportunity to re-check; a "no" reply adds the helper to
-//! `set0`. `|set1| ≥ n − f` decides `true`; `|set0| > f` decides `false`.
-//! `set1` is non-decreasing, which is what makes the relay property stick.
+//! All three register families are built from the same skeleton:
+//!
+//! * a matrix of SWSR *reply* registers `R_{j,k}` (helper `p_j` → asker
+//!   `p_k`) and per-reader *asker* round counters `C_k` — installed by
+//!   [`QuorumFabric`];
+//! * the `set0`/`set1` voting loop a reader runs over its reply column —
+//!   the generic engine [`quorum_rounds`], instantiated as
+//!   [`verify_quorum`] by the `Verify(−)` of Algorithms 1–2 and by the
+//!   sticky `Read` of Algorithm 3;
+//! * the helper-side asker/`prev_ck` handshake — [`AskerTracker`].
+//!
+//! §5.1 explains the voting mechanism: a reader proceeds in rounds; in each
+//! round it bumps its asker register `C_k` and waits for *one* fresh reply
+//! from any process outside `set0 ∪ set1`. An affirmative reply moves the
+//! helper into `set1` **and resets `set0`**, giving dissenters the
+//! opportunity to re-check; a dissent adds the helper to `set0`. `set1` is
+//! non-decreasing, which is what makes the relay property stick.
 
 use std::collections::BTreeSet;
 
-use byzreg_runtime::{Env, ReadPort, Result, Value, WritePort};
+use byzreg_runtime::{Env, ProcessId, ReadPort, RegisterFactory, Result, Roles, Value, WritePort};
 
-/// A helper's reply register content: the set of values it currently
-/// witnesses, tagged with the asker round it answers (`⟨r_j, c_j⟩`).
-pub type Reply<V> = (BTreeSet<V>, u64);
+use parking_lot::Mutex;
 
-/// Runs the `Verify(v)` procedure of Algorithms 1 and 2 (lines 11–24 /
-/// 10–23) for the reader owning `ck`.
+/// A reply payload tagged with the asker round it answers (`⟨−, c_j⟩`).
+pub type Tagged<W> = (W, u64);
+
+/// A helper's reply register content for Algorithms 1–2: the set of values
+/// it currently witnesses, tagged with the asker round (`⟨r_j, c_j⟩`).
+pub type Reply<V> = Tagged<BTreeSet<V>>;
+
+/// How the voting engine classifies one reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ballot {
+    /// The reply supports the asker's hypothesis: the helper joins `set1`
+    /// and `set0` is reset (Alg. 1 lines 18–20).
+    Affirm,
+    /// The reply opposes it: the helper joins `set0` (lines 21–22).
+    Dissent,
+}
+
+/// The §5.1 round engine shared by every quorum decision in this crate.
 ///
-/// `replies` is the reader's column of SWSR registers `R_{j,k}`, one per
-/// process `p_j` (including the writer and the reader itself).
+/// Runs rounds of: bump `C_k`, wait for one *fresh* reply from a process
+/// outside `set0 ∪ set1`, classify it with `tally`, then let `decide`
+/// inspect the updated tallies `(n1, n0)` — the sizes of `set1` and `set0`.
+/// `Ballot::Affirm` resets `set0`, so dissenters are re-asked after every
+/// affirmation; `set1` only ever grows.
+///
+/// `replies` is the asker's reply column `R_{j,k}` over all processes `p_j`.
 ///
 /// # Errors
 ///
 /// Returns [`byzreg_runtime::Error::Shutdown`] if the system shuts down
 /// mid-operation.
-pub fn verify_quorum<V: Value>(
+pub fn quorum_rounds<W: Value, T>(
     env: &Env,
     ck: &WritePort<u64>,
-    replies: &[ReadPort<Reply<V>>],
-    v: &V,
-) -> Result<bool> {
+    replies: &[ReadPort<Tagged<W>>],
+    mut tally: impl FnMut(usize, W) -> Ballot,
+    mut decide: impl FnMut(usize, usize) -> Option<T>,
+) -> Result<T> {
     let n = env.n();
-    let f = env.f();
     debug_assert_eq!(replies.len(), n);
     let mut set1 = vec![false; n];
     let mut set0 = vec![false; n];
@@ -64,25 +91,61 @@ pub fn verify_quorum<V: Value>(
                 }
             }
         };
-        if r_j.contains(v) {
-            // Lines 18-20: set1 <- set1 ∪ {pj}; set0 <- ∅.
-            set1[j] = true;
-            n1 += 1;
-            set0 = vec![false; n];
-            n0 = 0;
-        } else {
-            // Lines 21-22: set0 <- set0 ∪ {pj}.
-            set0[j] = true;
-            n0 += 1;
+        match tally(j, r_j) {
+            Ballot::Affirm => {
+                // Lines 18-20: set1 <- set1 ∪ {pj}; set0 <- ∅.
+                set1[j] = true;
+                n1 += 1;
+                set0 = vec![false; n];
+                n0 = 0;
+            }
+            Ballot::Dissent => {
+                // Lines 21-22: set0 <- set0 ∪ {pj}.
+                set0[j] = true;
+                n0 += 1;
+            }
         }
-        // Lines 23-24.
-        if n1 >= n - f {
-            return Ok(true);
-        }
-        if n0 > f {
-            return Ok(false);
+        // Lines 23-24 (and Alg. 3 lines 20-22): the decision rule.
+        if let Some(outcome) = decide(n1, n0) {
+            return Ok(outcome);
         }
     }
+}
+
+/// Runs the `Verify(v)` procedure of Algorithms 1 and 2 (lines 11–24 /
+/// 10–23) for the reader owning `ck`: `|set1| ≥ n − f` decides `true`,
+/// `|set0| > f` decides `false`.
+///
+/// `replies` is the reader's column of SWSR registers `R_{j,k}`, one per
+/// process `p_j` (including the writer and the reader itself).
+///
+/// # Errors
+///
+/// Returns [`byzreg_runtime::Error::Shutdown`] if the system shuts down
+/// mid-operation.
+pub fn verify_quorum<V: Value>(
+    env: &Env,
+    ck: &WritePort<u64>,
+    replies: &[ReadPort<Reply<V>>],
+    v: &V,
+) -> Result<bool> {
+    let n = env.n();
+    let f = env.f();
+    quorum_rounds(
+        env,
+        ck,
+        replies,
+        |_, r_j| if r_j.contains(v) { Ballot::Affirm } else { Ballot::Dissent },
+        |n1, n0| {
+            if n1 >= n - f {
+                Some(true)
+            } else if n0 > f {
+                Some(false)
+            } else {
+                None
+            }
+        },
+    )
 }
 
 /// Tracks the asker/`prev_ck` handshake of the `Help()` procedures
@@ -104,12 +167,8 @@ impl AskerTracker {
     /// acknowledged round.
     pub fn poll(&self, c: &[ReadPort<u64>]) -> (Vec<u64>, Vec<usize>) {
         let ck: Vec<u64> = c.iter().map(ReadPort::read).collect();
-        let askers = ck
-            .iter()
-            .enumerate()
-            .filter(|(k, v)| **v > self.prev_ck[*k])
-            .map(|(k, _)| k)
-            .collect();
+        let askers =
+            ck.iter().enumerate().filter(|(k, v)| **v > self.prev_ck[*k]).map(|(k, _)| k).collect();
         (ck, askers)
     }
 
@@ -118,12 +177,127 @@ impl AskerTracker {
     pub fn acknowledge(&mut self, k: usize, ck: u64) {
         self.prev_ck[k] = ck;
     }
+
+    /// Answers every pending asker with `reply` and acknowledges the served
+    /// rounds (the lines 34–36 / 36–38 / 38–40 epilogue of every `Help()`).
+    pub fn serve<W: Value>(
+        &mut self,
+        replies_w: &[WritePort<Tagged<W>>],
+        ck: &[u64],
+        askers: &[usize],
+        reply: &W,
+    ) {
+        for &k in askers {
+            replies_w[k].write((reply.clone(), ck[k]));
+            self.acknowledge(k, ck[k]);
+        }
+    }
+}
+
+/// The reply-and-asker register fabric every register family installs: the
+/// SWSR reply matrix `R_{j,k}` (initially `⟨init, 0⟩`) and the reader round
+/// counters `C_k` (initially 0), with owners assigned through `roles`.
+pub struct QuorumFabric<W: Value> {
+    reply_w: Vec<Vec<WritePort<Tagged<W>>>>,
+    reply_r: Vec<Vec<ReadPort<Tagged<W>>>>,
+    asker_w: Vec<WritePort<u64>>,
+    asker_r: Vec<ReadPort<u64>>,
+}
+
+impl<W: Value> QuorumFabric<W> {
+    /// Installs the fabric for the `roles.n()` processes of `env`, sourcing
+    /// base registers from `factory`.
+    pub fn install<F: RegisterFactory>(env: &Env, factory: &F, roles: &Roles, init: W) -> Self {
+        let n = roles.n();
+        let mut reply_w = Vec::with_capacity(n);
+        let mut reply_r = Vec::with_capacity(n);
+        for j in 1..=n {
+            let mut row_w = Vec::with_capacity(n - 1);
+            let mut row_r = Vec::with_capacity(n - 1);
+            for k in 2..=n {
+                let (w, r) = factory.create(
+                    env,
+                    roles.actual(j),
+                    format!("R[{j},{k}]"),
+                    (init.clone(), 0u64),
+                );
+                row_w.push(w);
+                row_r.push(r);
+            }
+            reply_w.push(row_w);
+            reply_r.push(row_r);
+        }
+        let mut asker_w = Vec::with_capacity(n - 1);
+        let mut asker_r = Vec::with_capacity(n - 1);
+        for k in 2..=n {
+            let (w, r) = factory.create(env, roles.actual(k), format!("C[{k}]"), 0u64);
+            asker_w.push(w);
+            asker_r.push(r);
+        }
+        QuorumFabric { reply_w, reply_r, asker_w, asker_r }
+    }
+
+    /// The full reply matrix, read side (`[j][k]`, both 0-based).
+    #[must_use]
+    pub fn reply_matrix(&self) -> Vec<Vec<ReadPort<Tagged<W>>>> {
+        self.reply_r.clone()
+    }
+
+    /// The asker counters, read side (index `role - 2`).
+    #[must_use]
+    pub fn asker_ports(&self) -> Vec<ReadPort<u64>> {
+        self.asker_r.clone()
+    }
+
+    /// Helper `role`'s row of reply write ports (`R_{role,k}` for all `k`).
+    #[must_use]
+    pub fn reply_row(&self, role: usize) -> Vec<WritePort<Tagged<W>>> {
+        self.reply_w[role - 1].clone()
+    }
+
+    /// Reader `role`'s asker write port (`C_role`); `None` for the writer.
+    #[must_use]
+    pub fn asker_port(&self, role: usize) -> Option<WritePort<u64>> {
+        (role >= 2).then(|| self.asker_w[role - 2].clone())
+    }
+}
+
+/// One-shot per-process port bundles with the "taken at most once" rule all
+/// register families enforce on their writer/reader/attack handles.
+pub(crate) struct Endpoints<P>(Mutex<Vec<Option<P>>>);
+
+impl<P> Endpoints<P> {
+    pub(crate) fn new(ports: Vec<P>) -> Self {
+        Endpoints(Mutex::new(ports.into_iter().map(Some).collect()))
+    }
+
+    /// Takes role `role`'s bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle was taken before.
+    pub(crate) fn take(&self, role: usize) -> P {
+        self.0.lock()[role - 1]
+            .take()
+            .unwrap_or_else(|| panic!("ports of role {role} already taken"))
+    }
+
+    /// Takes the bundle of the process with the given pid-shaped message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle was taken before.
+    pub(crate) fn take_pid(&self, pid: ProcessId) -> P {
+        self.0.lock()[pid.zero_based()]
+            .take()
+            .unwrap_or_else(|| panic!("ports of {pid} already taken"))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use byzreg_runtime::{register, ProcessId, System};
+    use byzreg_runtime::{register, LocalFactory, ProcessId, System};
 
     #[test]
     fn asker_tracker_detects_increases_only() {
@@ -211,5 +385,76 @@ mod tests {
         sys.shutdown();
         let got = verify_quorum(&env, &ck_w, &cols, &7);
         assert!(got.is_err());
+    }
+
+    #[test]
+    fn quorum_rounds_supports_non_boolean_decisions() {
+        // A sticky-style decision: count per-value affirmations.
+        let sys = System::builder(4).build();
+        let env = sys.env().clone();
+        let (ck_w, _) = register::swmr(env.gate(), ProcessId::new(2), "C2", 0u64);
+        let mut cols = Vec::new();
+        for j in 1..=4 {
+            let (_w, r) = register::swmr(
+                env.gate(),
+                ProcessId::new(j),
+                format!("R{j}2"),
+                (Some(9u32), u64::MAX),
+            );
+            cols.push(r);
+        }
+        let n = env.n();
+        let f = env.f();
+        let votes = std::cell::RefCell::new(std::collections::BTreeMap::new());
+        let got: Option<u32> = quorum_rounds(
+            &env,
+            &ck_w,
+            &cols,
+            |_, slot: Option<u32>| match slot {
+                Some(v) => {
+                    *votes.borrow_mut().entry(v).or_insert(0usize) += 1;
+                    Ballot::Affirm
+                }
+                None => Ballot::Dissent,
+            },
+            |_n1, n0| {
+                if let Some((v, _)) = votes.borrow().iter().find(|(_, c)| **c >= n - f) {
+                    return Some(Some(*v));
+                }
+                (n0 > f).then_some(None)
+            },
+        )
+        .unwrap();
+        assert_eq!(got, Some(9));
+    }
+
+    #[test]
+    fn fabric_wires_owners_and_names() {
+        let sys = System::builder(4).build();
+        let roles = Roles::identity(4);
+        let fabric =
+            QuorumFabric::install(sys.env(), &LocalFactory, &roles, BTreeSet::<u32>::new());
+        let matrix = fabric.reply_matrix();
+        assert_eq!(matrix.len(), 4);
+        assert_eq!(matrix[0].len(), 3);
+        assert_eq!(matrix[2][0].owner(), ProcessId::new(3));
+        assert_eq!(matrix[2][0].name(), "R[3,2]");
+        assert_eq!(fabric.asker_ports().len(), 3);
+        assert!(fabric.asker_port(1).is_none(), "the writer has no C_k");
+        let c3 = fabric.asker_port(3).unwrap();
+        assert_eq!(c3.owner(), ProcessId::new(3));
+        // Reply rows answer through the owning helper.
+        let row = fabric.reply_row(2);
+        assert_eq!(row.len(), 3);
+        row[1].write((BTreeSet::new(), 5));
+        assert_eq!(matrix[1][1].read().1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn endpoints_enforce_single_take() {
+        let eps = Endpoints::new(vec![1, 2, 3]);
+        let _ = eps.take(2);
+        let _ = eps.take(2);
     }
 }

@@ -36,22 +36,20 @@
 //! # }
 //! ```
 
-use parking_lot::Mutex;
-
 use byzreg_runtime::{
     Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, Roles, System,
     Value, WritePort,
 };
 use byzreg_spec::registers::{StickyInv, StickyResp};
 
-use crate::quorum::AskerTracker;
+use crate::quorum::{quorum_rounds, AskerTracker, Ballot, Endpoints, QuorumFabric, Tagged};
 
 /// `⊥`-able register content (`None` = `⊥`).
 pub type Slot<V> = Option<V>;
 
 /// A helper's reply `⟨u_j, c_j⟩`: the single value it witnesses (or `⊥`)
 /// tagged with the asker round it answers.
-pub type Reply<V> = (Slot<V>, u64);
+pub type Reply<V> = Tagged<Slot<V>>;
 
 /// Read-only views of every shared register of one sticky-register instance.
 pub struct SharedPorts<V> {
@@ -111,7 +109,7 @@ pub struct StickyRegister<V> {
     env: Env,
     roles: Roles,
     shared: SharedPorts<V>,
-    endpoints: Mutex<Vec<Option<ProcessPorts<V>>>>,
+    endpoints: Endpoints<ProcessPorts<V>>,
     log: HistoryLog<StickyInv<V>, StickyResp<V>>,
 }
 
@@ -167,35 +165,16 @@ impl<V: Value> StickyRegister<V> {
             witness_r.push(r);
         }
 
-        let mut replies_w: Vec<Vec<WritePort<Reply<V>>>> = Vec::with_capacity(n);
-        let mut replies_r: Vec<Vec<ReadPort<Reply<V>>>> = Vec::with_capacity(n);
-        for j in 1..=n {
-            let mut row_w = Vec::with_capacity(n - 1);
-            let mut row_r = Vec::with_capacity(n - 1);
-            for k in 2..=n {
-                let (w, r) = factory.create(
-                    &env,
-                    roles.actual(j),
-                    format!("R[{j},{k}]"),
-                    (Slot::<V>::None, 0u64),
-                );
-                row_w.push(w);
-                row_r.push(r);
-            }
-            replies_w.push(row_w);
-            replies_r.push(row_r);
-        }
+        // R_{j,k} reply registers (initially ⟨⊥, 0⟩) and C_k round counters:
+        // the shared quorum fabric of §5.1.
+        let fabric = QuorumFabric::install(&env, factory, &roles, Slot::<V>::None);
 
-        let mut asker_w = Vec::with_capacity(n - 1);
-        let mut asker_r = Vec::with_capacity(n - 1);
-        for k in 2..=n {
-            let (w, r) = factory.create(&env, roles.actual(k), format!("C[{k}]"), 0u64);
-            asker_w.push(w);
-            asker_r.push(r);
-        }
-
-        let shared =
-            SharedPorts { echo: echo_r, witness: witness_r, replies: replies_r, askers: asker_r };
+        let shared = SharedPorts {
+            echo: echo_r,
+            witness: witness_r,
+            replies: fabric.reply_matrix(),
+            askers: fabric.asker_ports(),
+        };
 
         for j in 1..=n {
             let task = HelpTask3 {
@@ -203,7 +182,7 @@ impl<V: Value> StickyRegister<V> {
                 shared: shared.clone(),
                 echo_w: echo_w[j - 1].clone(),
                 witness_w: witness_w[j - 1].clone(),
-                replies_w: replies_w[j - 1].clone(),
+                replies_w: fabric.reply_row(j),
                 tracker: AskerTracker::new(n - 1),
             };
             system.add_help_task(roles.actual(j), Box::new(task));
@@ -211,19 +190,19 @@ impl<V: Value> StickyRegister<V> {
 
         let mut endpoints = Vec::with_capacity(n);
         for j in 1..=n {
-            endpoints.push(Some(ProcessPorts {
+            endpoints.push(ProcessPorts {
                 echo_w: echo_w[j - 1].clone(),
                 witness_w: witness_w[j - 1].clone(),
-                replies_w: replies_w[j - 1].clone(),
-                asker_w: (j >= 2).then(|| asker_w[j - 2].clone()),
-            }));
+                replies_w: fabric.reply_row(j),
+                asker_w: fabric.asker_port(j),
+            });
         }
 
         StickyRegister {
             env: env.clone(),
             roles,
             shared,
-            endpoints: Mutex::new(endpoints),
+            endpoints: Endpoints::new(endpoints),
             log: HistoryLog::new(env.clock()),
         }
     }
@@ -247,9 +226,7 @@ impl<V: Value> StickyRegister<V> {
     }
 
     fn take_ports(&self, role: usize) -> ProcessPorts<V> {
-        self.endpoints.lock()[role - 1]
-            .take()
-            .unwrap_or_else(|| panic!("ports of role {role} already taken"))
+        self.endpoints.take(role)
     }
 
     /// The unique writer handle.
@@ -368,11 +345,7 @@ impl<V: Value> StickyWriter<V> {
             let need = self.env.n_minus_f();
             loop {
                 self.env.check_running()?;
-                let count = self
-                    .witness
-                    .iter()
-                    .filter(|r| r.read().as_ref() == Some(&v))
-                    .count();
+                let count = self.witness.iter().filter(|r| r.read().as_ref() == Some(&v)).count();
                 if count >= need {
                     return Ok(()); // line 6
                 }
@@ -459,59 +432,35 @@ impl<V: Value> StickyReader<V> {
     fn read_procedure(&self) -> Result<Slot<V>> {
         let n = self.env.n();
         let f = self.env.f();
-        // Line 7: set⊥, setval <- ∅.
-        // setval[j] = Some(v) means ⟨v, pj⟩ ∈ setval; set_bot[j] mirrors set⊥.
-        let mut setval: Vec<Option<V>> = vec![None; n];
-        let mut set_bot = vec![false; n];
-        let mut n_bot = 0usize;
-        // Line 8: while true.
-        loop {
-            self.env.check_running()?;
-            // Line 9: Ck <- Ck + 1.
-            let my_ck = self.ck_w.update(|c| {
-                *c += 1;
-                *c
-            });
-            // Line 10: S = processes outside set⊥ and setval.
-            // Lines 11-14: repeat until a fresh reply arrives from S.
-            let (j, u_j) = 'fresh: loop {
-                self.env.check_running()?;
-                for j in 0..n {
-                    if set_bot[j] || setval[j].is_some() {
-                        continue;
-                    }
-                    let (u_j, c_j) = self.reply_column[j].read(); // line 13
-                    if c_j >= my_ck {
-                        break 'fresh (j, u_j); // line 14
-                    }
-                }
-            };
-            match u_j {
+        // Lines 7-22, via the shared §5.1 round engine: `setval` entries are
+        // affirmations (they accumulate in `votes`), `⊥`-replies are
+        // dissents, and a dissent set larger than `f` decides `⊥`. The
+        // engine's set0-reset on affirmation is exactly line 17
+        // (`set⊥ <- ∅`).
+        let votes: std::cell::RefCell<std::collections::BTreeMap<V, usize>> =
+            std::cell::RefCell::new(std::collections::BTreeMap::new());
+        quorum_rounds(
+            &self.env,
+            &self.ck_w,
+            &self.reply_column,
+            |_, u_j: Slot<V>| match u_j {
                 Some(v) => {
-                    // Lines 15-17: setval ∪= {⟨uj, pj⟩}; set⊥ <- ∅.
-                    setval[j] = Some(v);
-                    set_bot = vec![false; n];
-                    n_bot = 0;
+                    // Lines 15-16: setval ∪= {⟨uj, pj⟩} (each pj classifies
+                    // at most once, so counting per value is exact).
+                    *votes.borrow_mut().entry(v).or_insert(0) += 1;
+                    Ballot::Affirm
                 }
-                None => {
-                    // Lines 18-19.
-                    set_bot[j] = true;
-                    n_bot += 1;
+                None => Ballot::Dissent, // lines 18-19
+            },
+            |_n1, n_bot| {
+                // Lines 20-21: a value witnessed by >= n−f processes wins.
+                if let Some((v, _)) = votes.borrow().iter().find(|(_, c)| **c >= n - f) {
+                    return Some(Some(v.clone()));
                 }
-            }
-            // Lines 20-21: a value witnessed by >= n−f processes wins.
-            let mut counts: std::collections::BTreeMap<&V, usize> = std::collections::BTreeMap::new();
-            for v in setval.iter().flatten() {
-                *counts.entry(v).or_insert(0) += 1;
-            }
-            if let Some((v, _)) = counts.iter().find(|(_, c)| **c >= n - f) {
-                return Ok(Some((*v).clone()));
-            }
-            // Line 22.
-            if n_bot > f {
-                return Ok(None);
-            }
-        }
+                // Line 22.
+                (n_bot > f).then_some(None)
+            },
+        )
     }
 }
 
@@ -582,8 +531,7 @@ impl<V: Value> byzreg_runtime::HelpTask for HelpTask3<V> {
 
         // Lines 34-36: with an asker waiting, also accept f+1 witnesses.
         if self.witness_w.read().is_none() {
-            let witnesses: Vec<Slot<V>> =
-                self.shared.witness.iter().map(ReadPort::read).collect();
+            let witnesses: Vec<Slot<V>> = self.shared.witness.iter().map(ReadPort::read).collect();
             if let Some(v) = majority_value(&witnesses, f + 1) {
                 self.witness_if_unset(v);
             }
@@ -592,10 +540,7 @@ impl<V: Value> byzreg_runtime::HelpTask for HelpTask3<V> {
         // Line 37: rj <- Rj.
         let r_j = self.witness_w.read();
         // Lines 38-40.
-        for k in askers {
-            self.replies_w[k].write((r_j.clone(), ck[k]));
-            self.tracker.acknowledge(k, ck[k]);
-        }
+        self.tracker.serve(&self.replies_w, &ck, &askers, &r_j);
     }
 }
 

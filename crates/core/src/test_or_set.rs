@@ -304,9 +304,7 @@ pub mod naive {
     //!   but the Figure 1 history **H3** makes `f` Byzantine vouchers forge
     //!   a `Set` that never happened, violating Lemma 28(2).
 
-    use byzreg_runtime::{
-        register, ReadPort, WritePort,
-    };
+    use byzreg_runtime::{register, ReadPort, WritePort};
 
     use super::*;
 
@@ -358,7 +356,10 @@ pub mod naive {
         pub fn install_with_sleepers(
             system: &System,
             rule: Rule,
-            sleepers: std::collections::HashMap<ProcessId, std::sync::Arc<std::sync::atomic::AtomicBool>>,
+            sleepers: std::collections::HashMap<
+                ProcessId,
+                std::sync::Arc<std::sync::atomic::AtomicBool>,
+            >,
         ) -> Self {
             let env = system.env().clone();
             let n = env.n();

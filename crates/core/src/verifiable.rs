@@ -37,15 +37,13 @@
 
 use std::collections::BTreeSet;
 
-use parking_lot::Mutex;
-
 use byzreg_runtime::{
-    Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, System, Value,
-    WritePort,
+    Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, Roles, System,
+    Value, WritePort,
 };
 use byzreg_spec::registers::{VerInv, VerResp};
 
-use crate::quorum::{verify_quorum, AskerTracker, Reply};
+use crate::quorum::{verify_quorum, AskerTracker, Endpoints, QuorumFabric, Reply};
 
 /// A process's witness set (the content of `R_i`).
 pub type WitnessSet<V> = BTreeSet<V>;
@@ -122,7 +120,7 @@ pub struct VerifiableRegister<V> {
     env: Env,
     v0: V,
     shared: SharedPorts<V>,
-    endpoints: Mutex<Vec<Option<ProcessPorts<V>>>>,
+    endpoints: Endpoints<ProcessPorts<V>>,
     log: HistoryLog<VerInv<V>, VerResp<V>>,
 }
 
@@ -163,40 +161,16 @@ impl<V: Value> VerifiableRegister<V> {
             witness_r.push(r);
         }
 
-        // R_{j,k}: SWSR reply registers; initially ⟨∅, 0⟩.
-        let mut replies_w: Vec<Vec<WritePort<Reply<V>>>> = Vec::with_capacity(n);
-        let mut replies_r: Vec<Vec<ReadPort<Reply<V>>>> = Vec::with_capacity(n);
-        for j in 1..=n {
-            let mut row_w = Vec::with_capacity(n - 1);
-            let mut row_r = Vec::with_capacity(n - 1);
-            for k in 2..=n {
-                let (w, r) = factory.create(
-                    &env,
-                    ProcessId::new(j),
-                    format!("R[{j},{k}]"),
-                    (WitnessSet::<V>::new(), 0u64),
-                );
-                row_w.push(w);
-                row_r.push(r);
-            }
-            replies_w.push(row_w);
-            replies_r.push(row_r);
-        }
-
-        // C_k: reader round counters; initially 0.
-        let mut asker_w = Vec::with_capacity(n - 1);
-        let mut asker_r = Vec::with_capacity(n - 1);
-        for k in 2..=n {
-            let (w, r) = factory.create(&env, ProcessId::new(k), format!("C[{k}]"), 0u64);
-            asker_w.push(w);
-            asker_r.push(r);
-        }
+        // R_{j,k} reply registers (initially ⟨∅, 0⟩) and C_k round counters:
+        // the shared quorum fabric of §5.1.
+        let roles = Roles::identity(n);
+        let fabric = QuorumFabric::install(&env, factory, &roles, WitnessSet::<V>::new());
 
         let shared = SharedPorts {
             r_star,
             witness: witness_r,
-            replies: replies_r,
-            askers: asker_r,
+            replies: fabric.reply_matrix(),
+            askers: fabric.asker_ports(),
         };
 
         // Attach Help() to every correct process (System drops tasks for
@@ -206,7 +180,7 @@ impl<V: Value> VerifiableRegister<V> {
                 env: env.clone(),
                 shared: shared.clone(),
                 witness_w: witness_w[j - 1].clone(),
-                replies_w: replies_w[j - 1].clone(),
+                replies_w: fabric.reply_row(j),
                 tracker: AskerTracker::new(n - 1),
             };
             system.add_help_task(ProcessId::new(j), Box::new(task));
@@ -215,19 +189,19 @@ impl<V: Value> VerifiableRegister<V> {
         // Per-process port bundles for handles / adversaries.
         let mut endpoints = Vec::with_capacity(n);
         for j in 1..=n {
-            endpoints.push(Some(ProcessPorts {
+            endpoints.push(ProcessPorts {
                 witness_w: witness_w[j - 1].clone(),
-                replies_w: replies_w[j - 1].clone(),
-                asker_w: (j >= 2).then(|| asker_w[j - 2].clone()),
+                replies_w: fabric.reply_row(j),
+                asker_w: fabric.asker_port(j),
                 r_star_w: (j == 1).then(|| r_star_w.clone()),
-            }));
+            });
         }
 
         VerifiableRegister {
             env: env.clone(),
             v0,
             shared,
-            endpoints: Mutex::new(endpoints),
+            endpoints: Endpoints::new(endpoints),
             log: HistoryLog::new(env.clock()),
         }
     }
@@ -251,9 +225,7 @@ impl<V: Value> VerifiableRegister<V> {
     }
 
     fn take_ports(&self, pid: ProcessId) -> ProcessPorts<V> {
-        self.endpoints.lock()[pid.zero_based()]
-            .take()
-            .unwrap_or_else(|| panic!("ports of {pid} already taken"))
+        self.endpoints.take_pid(pid)
     }
 
     /// The unique writer handle (process `p1`).
@@ -468,8 +440,7 @@ impl<V: Value> byzreg_runtime::HelpTask for HelpTask1<V> {
             return; // line 29 (no askers: do nothing this round)
         }
         // Line 30: read R_i of every process.
-        let r_all: Vec<WitnessSet<V>> =
-            self.shared.witness.iter().map(ReadPort::read).collect();
+        let r_all: Vec<WitnessSet<V>> = self.shared.witness.iter().map(ReadPort::read).collect();
         // Line 31: candidate values = r1 ∪ values appearing anywhere.
         let mut candidates: BTreeSet<&V> = BTreeSet::new();
         for set in &r_all {
@@ -489,10 +460,7 @@ impl<V: Value> byzreg_runtime::HelpTask for HelpTask1<V> {
         // Line 33: r_j <- R_j.
         let r_j = self.witness_w.read();
         // Lines 34-36: help each asker.
-        for k in askers {
-            self.replies_w[k].write((r_j.clone(), ck[k]));
-            self.tracker.acknowledge(k, ck[k]);
-        }
+        self.tracker.serve(&self.replies_w, &ck, &askers, &r_j);
     }
 }
 

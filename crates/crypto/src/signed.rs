@@ -26,6 +26,10 @@ use crate::oracle::{Signature, SignatureOracle, SigningKey};
 /// Evidence set stored by each reader: valid signatures it has seen.
 pub type Evidence<V> = std::collections::BTreeSet<Signature<V>>;
 
+/// The writer's port bundle: current-value register, published-signature
+/// register, and the private signing key.
+pub type WriterPorts<V> = (WritePort<(u64, V)>, WritePort<Evidence<V>>, SigningKey<V>);
+
 /// A signature-based SWMR verifiable register (baseline for Algorithm 1).
 ///
 /// Registers: the writer's current-value register `CUR`, the writer's
@@ -37,7 +41,7 @@ pub struct SignedVerifiableRegister<V: Ord> {
     cur_r: ReadPort<(u64, V)>,
     sigs_r: ReadPort<Evidence<V>>,
     evidence_r: Vec<ReadPort<Evidence<V>>>,
-    writer_ports: Mutex<Option<(WritePort<(u64, V)>, WritePort<Evidence<V>>, SigningKey<V>)>>,
+    writer_ports: Mutex<Option<WriterPorts<V>>>,
     reader_ports: Mutex<Vec<Option<WritePort<Evidence<V>>>>>,
     log: HistoryLog<VerInv<V>, VerResp<V>>,
 }
@@ -59,8 +63,12 @@ impl<V: Value> SignedVerifiableRegister<V> {
         let mut evidence_w = Vec::with_capacity(n - 1);
         let mut evidence_r = Vec::with_capacity(n - 1);
         for k in 2..=n {
-            let (w, r) =
-                register::swmr(gate.clone(), ProcessId::new(k), format!("EV[{k}]"), Evidence::new());
+            let (w, r) = register::swmr(
+                gate.clone(),
+                ProcessId::new(k),
+                format!("EV[{k}]"),
+                Evidence::new(),
+            );
             evidence_w.push(w);
             evidence_r.push(r);
         }
@@ -91,8 +99,7 @@ impl<V: Value> SignedVerifiableRegister<V> {
     #[must_use]
     pub fn writer(&self) -> SignedWriter<V> {
         assert!(!self.env.is_faulty(ProcessId::new(1)), "p1 is Byzantine");
-        let (cur_w, sigs_w, key) =
-            self.writer_ports.lock().take().expect("writer already taken");
+        let (cur_w, sigs_w, key) = self.writer_ports.lock().take().expect("writer already taken");
         SignedWriter {
             env: self.env.clone(),
             cur_w,
@@ -136,9 +143,7 @@ impl<V: Value> SignedVerifiableRegister<V> {
     ///
     /// Panics if `p1` is correct or the ports were taken.
     #[must_use]
-    pub fn writer_attack_ports(
-        &self,
-    ) -> (WritePort<(u64, V)>, WritePort<Evidence<V>>, SigningKey<V>) {
+    pub fn writer_attack_ports(&self) -> WriterPorts<V> {
         assert!(self.env.is_faulty(ProcessId::new(1)), "p1 is correct");
         self.writer_ports.lock().take().expect("writer ports already taken")
     }

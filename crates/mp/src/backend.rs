@@ -150,8 +150,7 @@ mod tests {
     fn factory_update_is_owner_rmw() {
         let sys = System::builder(4).build();
         let factory = MpFactory::default();
-        let (w, r) =
-            factory.create(sys.env(), ProcessId::new(2), "S".into(), Vec::<u32>::new());
+        let (w, r) = factory.create(sys.env(), ProcessId::new(2), "S".into(), Vec::<u32>::new());
         w.update(|v| v.push(1));
         w.update(|v| v.push(2));
         assert_eq!(r.read(), vec![1, 2]);

@@ -259,9 +259,8 @@ fn node_loop<V: Value>(mut node: Node<V>, cmds: Receiver<Cmd<V>>, stop: Arc<Atom
                 node.start(cmd);
             }
         }
-        match node.ep.recv_timeout(Duration::from_micros(300)) {
-            Some((from, msg)) => node.handle(from, msg),
-            None => {}
+        if let Some((from, msg)) = node.ep.recv_timeout(Duration::from_micros(300)) {
+            node.handle(from, msg);
         }
     }
 }

@@ -127,10 +127,8 @@ impl Drop for Participation {
 /// scheduler grants a turn and releases it afterwards (also on panic).
 /// Non-participating threads run `f` immediately.
 pub fn step<R>(gate: &Arc<dyn StepGate>, f: impl FnOnce() -> R) -> R {
-    let token = CURRENT.with(|c| {
-        c.borrow()
-            .and_then(|(gid, _, token)| (gid == gate.id()).then_some(token))
-    });
+    let token = CURRENT
+        .with(|c| c.borrow().and_then(|(gid, _, token)| (gid == gate.id()).then_some(token)));
     match token {
         Some(token) => {
             struct Release<'a>(&'a dyn StepGate, u64);

@@ -49,6 +49,9 @@ pub use system::{ByzantineBehavior, Env, HelpTask, Scheduling, System, SystemBui
 ///
 /// Blanket-implemented for every type with the required bounds; exists only
 /// to keep signatures readable.
-pub trait Value: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug + Send + Sync + 'static {}
+pub trait Value:
+    Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug + Send + Sync + 'static
+{
+}
 
 impl<T: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug + Send + Sync + 'static> Value for T {}

@@ -379,11 +379,9 @@ impl System {
     pub fn shutdown(&self) {
         self.env.gate().request_shutdown();
         let mut engines = self.engines.lock();
-        for slot in engines.iter_mut() {
-            if let Some(engine) = slot {
-                if let Some(h) = engine.handle.take() {
-                    let _ = h.join();
-                }
+        for engine in engines.iter_mut().flatten() {
+            if let Some(h) = engine.handle.take() {
+                let _ = h.join();
             }
         }
         drop(engines);

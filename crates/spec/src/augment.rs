@@ -280,11 +280,7 @@ pub fn check_byzantine_sticky<V: Value>(
             return Outcome::NotLinearizable; // Lemma 187 violated.
         };
         let at = lo + (hi - lo) / 2;
-        all.extend(place_sequentially(vec![(
-            at,
-            StickyInv::Write(v.clone()),
-            StickyResp::Done,
-        )]));
+        all.extend(place_sequentially(vec![(at, StickyInv::Write(v.clone()), StickyResp::Done)]));
     }
     check(&StickySpec::<V>::new(), &all)
 }

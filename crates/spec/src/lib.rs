@@ -39,7 +39,9 @@ pub mod monitors;
 pub mod registers;
 pub mod sequential;
 
-pub use augment::{check_byzantine_authenticated, check_byzantine_sticky, check_byzantine_verifiable};
+pub use augment::{
+    check_byzantine_authenticated, check_byzantine_sticky, check_byzantine_verifiable,
+};
 pub use linearize::{check, Outcome};
 pub use monitors::{MonitorResult, Violation};
 pub use sequential::SequentialSpec;

@@ -71,6 +71,7 @@ pub fn check<S: SequentialSpec>(
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs<S: SequentialSpec>(
         spec: &S,
         ops: &[CompleteOp<S::Invocation, S::Response>],
@@ -221,8 +222,9 @@ mod tests {
     #[test]
     fn too_large_is_reported() {
         let spec = SwmrSpec { v0: 0u8 };
-        let ops: Vec<_> =
-            (0..129).map(|i| op(2, i * 2 + 1, i * 2 + 2, RegInv::Read, RegResp::ReadValue(0))).collect();
+        let ops: Vec<_> = (0..129)
+            .map(|i| op(2, i * 2 + 1, i * 2 + 2, RegInv::Read, RegResp::ReadValue(0)))
+            .collect();
         assert_eq!(check(&spec, &ops), Outcome::TooLarge);
     }
 

@@ -149,9 +149,7 @@ pub fn verifiable_monitor<V: Value>(ops: &[CompleteOp<VerInv<V>, VerResp<V>>]) -
 
 /// Obs. 18 (relay) + Obs. 19 (a `Read` returning `v` implies later
 /// `Verify(v)` return `true`). Holds for **any** writer.
-pub fn authenticated_relay<V: Value>(
-    ops: &[CompleteOp<AuthInv<V>, AuthResp<V>>],
-) -> MonitorResult {
+pub fn authenticated_relay<V: Value>(ops: &[CompleteOp<AuthInv<V>, AuthResp<V>>]) -> MonitorResult {
     for a in ops {
         let verified_value: Option<&V> = match (&a.invocation, &a.response) {
             (AuthInv::Verify(v), AuthResp::VerifyResult(true)) => Some(v),
@@ -161,7 +159,8 @@ pub fn authenticated_relay<V: Value>(
         };
         let Some(v) = verified_value else { continue };
         for b in ops {
-            if let (AuthInv::Verify(w), AuthResp::VerifyResult(false)) = (&b.invocation, &b.response)
+            if let (AuthInv::Verify(w), AuthResp::VerifyResult(false)) =
+                (&b.invocation, &b.response)
             {
                 if w == v && a.responded_at < b.invoked_at {
                     let kind = if matches!(a.invocation, AuthInv::Read) {
@@ -212,41 +211,37 @@ pub fn authenticated_monitor<V: Value>(
             }
             // Obs. 17: Verify(v) -> true => v = v0 or Write(v) invoked before
             // the response.
-            (AuthInv::Verify(v), AuthResp::VerifyResult(true)) => {
-                if v != v0 {
-                    let justified = ops.iter().any(|w| {
-                        matches!(
-                            (&w.invocation, &w.response),
-                            (AuthInv::Write(x), AuthResp::Done) if x == v
-                        ) && w.invoked_at < a.responded_at
-                    });
-                    if !justified {
-                        return violation(
-                            "Obs. 17 (unforgeability)",
-                            format!(
-                                "{}'s Verify({v:?}) -> true with no Write({v:?}) invoked before t={}",
-                                a.pid, a.responded_at
-                            ),
-                        );
-                    }
+            (AuthInv::Verify(v), AuthResp::VerifyResult(true)) if v != v0 => {
+                let justified = ops.iter().any(|w| {
+                    matches!(
+                        (&w.invocation, &w.response),
+                        (AuthInv::Write(x), AuthResp::Done) if x == v
+                    ) && w.invoked_at < a.responded_at
+                });
+                if !justified {
+                    return violation(
+                        "Obs. 17 (unforgeability)",
+                        format!(
+                            "{}'s Verify({v:?}) -> true with no Write({v:?}) invoked before t={}",
+                            a.pid, a.responded_at
+                        ),
+                    );
                 }
             }
             // Reads must return a written value or v0 (weak regularity; the
             // full checker handles exact freshness).
-            (AuthInv::Read, AuthResp::ReadValue(v)) => {
-                if v != v0 {
-                    let ever_written = ops.iter().any(|w| {
-                        matches!(
-                            (&w.invocation, &w.response),
-                            (AuthInv::Write(x), AuthResp::Done) if x == v
-                        ) && w.invoked_at < a.responded_at
-                    });
-                    if !ever_written {
-                        return violation(
-                            "Def. 15 (read)",
-                            format!("{}'s Read returned never-written {v:?}", a.pid),
-                        );
-                    }
+            (AuthInv::Read, AuthResp::ReadValue(v)) if v != v0 => {
+                let ever_written = ops.iter().any(|w| {
+                    matches!(
+                        (&w.invocation, &w.response),
+                        (AuthInv::Write(x), AuthResp::Done) if x == v
+                    ) && w.invoked_at < a.responded_at
+                });
+                if !ever_written {
+                    return violation(
+                        "Def. 15 (read)",
+                        format!("{}'s Read returned never-written {v:?}", a.pid),
+                    );
                 }
             }
             _ => {}
@@ -382,14 +377,20 @@ pub fn test_or_set_monitor(
                 (Some(s), false) if s.responded_at < a.invoked_at => {
                     return violation(
                         "Lemma 28(1)",
-                        format!("Set completed at t={} but {}'s later Test -> 0", s.responded_at, a.pid),
+                        format!(
+                            "Set completed at t={} but {}'s later Test -> 0",
+                            s.responded_at, a.pid
+                        ),
                     );
                 }
                 // Lemma 28(2): Test -> 1 => Set invoked before the response.
                 (Some(s), true) if s.invoked_at >= a.responded_at => {
                     return violation(
                         "Lemma 28(2)",
-                        format!("{}'s Test -> 1 at t={} before Set was invoked (t={})", a.pid, a.responded_at, s.invoked_at),
+                        format!(
+                            "{}'s Test -> 1 at t={} before Set was invoked (t={})",
+                            a.pid, a.responded_at, s.invoked_at
+                        ),
                     );
                 }
                 (None, true) => {

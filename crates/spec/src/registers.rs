@@ -223,7 +223,12 @@ impl<V: Value> SequentialSpec for StickySpec<V> {
         None
     }
 
-    fn apply(&self, s: &Self::State, inv: &StickyInv<V>, resp: &StickyResp<V>) -> Option<Self::State> {
+    fn apply(
+        &self,
+        s: &Self::State,
+        inv: &StickyInv<V>,
+        resp: &StickyResp<V>,
+    ) -> Option<Self::State> {
         match (inv, resp) {
             (StickyInv::Write(v), StickyResp::Done) => {
                 // Only the first write takes effect; later writes are no-ops.
@@ -393,12 +398,14 @@ mod tests {
     #[test]
     fn authenticated_v0_is_deemed_signed() {
         let spec = AuthenticatedSpec { v0: 0u32 };
-        assert!(run_sequence(&spec, vec![(AuthInv::Verify(0), AuthResp::VerifyResult(true))])
-            .is_some());
+        assert!(
+            run_sequence(&spec, vec![(AuthInv::Verify(0), AuthResp::VerifyResult(true))]).is_some()
+        );
         assert!(run_sequence(&spec, vec![(AuthInv::Verify(3), AuthResp::VerifyResult(false))])
             .is_some());
-        assert!(run_sequence(&spec, vec![(AuthInv::Verify(3), AuthResp::VerifyResult(true))])
-            .is_none());
+        assert!(
+            run_sequence(&spec, vec![(AuthInv::Verify(3), AuthResp::VerifyResult(true))]).is_none()
+        );
     }
 
     #[test]

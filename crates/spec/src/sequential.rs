@@ -48,7 +48,7 @@ pub fn run_sequence<S: SequentialSpec>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registers::{TosInv, TosResp, TestOrSetSpec};
+    use crate::registers::{TestOrSetSpec, TosInv, TosResp};
 
     #[test]
     fn run_sequence_accepts_legal_runs() {

@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nledger as seen by each wallet:");
     for (name, wallet) in [("alice", &mut alice), ("bob", &mut bob), ("carol", &mut carol)] {
-        let balances: Vec<u64> =
-            (1..=4).map(|a| wallet.balance(a)).collect::<Result<_, _>>()?;
+        let balances: Vec<u64> = (1..=4).map(|a| wallet.balance(a)).collect::<Result<_, _>>()?;
         println!("  {name:>5}: {balances:?} (total {})", balances.iter().sum::<u64>());
         assert_eq!(balances.iter().sum::<u64>(), 400, "money is conserved");
     }

@@ -41,14 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("correct proposals, as seen by every correct process:");
-    for i in 0..endpoints.len() {
+    for ep in endpoints.iter_mut() {
         for s in 2..=4 {
             let sender = ProcessId::new(s);
-            if sender == endpoints[i].pid() {
+            if sender == ep.pid() {
                 continue;
             }
-            let got = endpoints[i].deliver_from(sender)?;
-            println!("  {} sees {} -> {:?}", endpoints[i].pid(), sender, got);
+            let got = ep.deliver_from(sender)?;
+            println!("  {} sees {} -> {:?}", ep.pid(), sender, got);
             assert_eq!(got, Some(proposals[s - 2]));
         }
     }

@@ -4,47 +4,67 @@
 //! cargo run --example quickstart
 //! ```
 
+use byzreg::core::api::{SignatureRegister, SignatureSigner, SignatureVerifier};
 use byzreg::core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
 use byzreg::runtime::{ProcessId, System};
+
+/// One workload, any register family: write a value, "sign" it (a no-op
+/// for the implicitly-signed families), and verify it from a reader.
+/// This is the `SignatureRegister` trait layer — harnesses, benches, and
+/// tests iterate over all three families through it.
+fn demo<R: SignatureRegister<u64>>(system: &System) -> Result<(), Box<dyn std::error::Error>> {
+    let reg = R::install_default(system, 0);
+    let mut writer = reg.signer();
+    let mut reader = reg.verifier(ProcessId::new(2));
+
+    writer.write_value(7)?;
+    writer.sign_value(&7)?;
+    println!(
+        "{:>13}: read -> {:?}, verify(7) -> {}, verify(8) -> {}",
+        R::FAMILY.label(),
+        reader.read_value()?,
+        reader.verify_value(&7)?,
+        reader.verify_value(&8)?,
+    );
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A system of n = 4 processes, of which f = 1 may be Byzantine.
     // (4 > 3·1, the bound Theorem 31 proves optimal.)
     let system = System::builder(4).build();
-    println!("system: n = {}, f = {}", system.env().n(), system.env().f());
+    println!("system: n = {}, f = {}\n", system.env().n(), system.env().f());
 
-    // --- Verifiable register (Algorithm 1) --------------------------------
-    // Write/Read like a normal register, plus Sign/Verify that emulate
-    // unforgeable signatures without any cryptography.
+    println!("-- the trait layer: one workload, three families ------------------");
+    demo::<VerifiableRegister<u64>>(&system)?;
+    demo::<AuthenticatedRegister<u64>>(&system)?;
+    demo::<StickyRegister<u64>>(&system)?;
+
+    // What makes the families different is *when* a value becomes
+    // verifiable; the concrete APIs expose exactly that.
+    println!("\n-- family-specific surfaces ---------------------------------------");
+
+    // Verifiable (Algorithm 1): Sign is a separate, explicit operation.
     let verifiable = VerifiableRegister::install(&system, 0u64);
     let mut writer = verifiable.writer();
     let mut reader = verifiable.reader(ProcessId::new(2));
-
     writer.write(7)?;
-    println!("verifiable: read  -> {}", reader.read()?);
     println!("verifiable: verify(7) before Sign -> {}", reader.verify(&7)?);
     writer.sign(&7)?;
     println!("verifiable: verify(7) after  Sign -> {}", reader.verify(&7)?);
 
-    // --- Authenticated register (Algorithm 2) -----------------------------
-    // Every write is atomically "signed": no separate Sign operation.
+    // Authenticated (Algorithm 2): every write is atomically signed.
     let authenticated = AuthenticatedRegister::install(&system, 0u64);
     let mut writer = authenticated.writer();
     let mut reader = authenticated.reader(ProcessId::new(3));
-
     writer.write(42)?;
-    println!("authenticated: read -> {}", reader.read()?);
-    println!("authenticated: verify(42) -> {}", reader.verify(&42)?);
-    println!("authenticated: verify(41) -> {}", reader.verify(&41)?);
+    println!("authenticated: read (verified) -> {}", reader.read()?);
 
-    // --- Sticky register (Algorithm 3) -------------------------------------
-    // The first written value can never be changed — even by a Byzantine
-    // writer. Ideal for one-shot proposals (non-equivocation).
+    // Sticky (Algorithm 3): the first written value never changes — even
+    // if the writer is Byzantine. Ideal for one-shot proposals.
     let sticky = StickyRegister::install(&system);
     let mut writer = sticky.writer();
     let mut reader = sticky.reader(ProcessId::new(4));
-
-    println!("sticky: read before write -> {:?}", reader.read()?);
     writer.write("proposal-A")?;
     writer.write("proposal-B")?; // too late: no effect
     println!("sticky: read after two writes -> {:?}", reader.read()?);

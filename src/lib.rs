@@ -15,7 +15,8 @@
 //!   ports, deterministic/chaotic schedulers, Byzantine fault injection,
 //!   history recording;
 //! * [`core`] — Algorithms 1–3 (verifiable, authenticated, sticky
-//!   registers), test-or-set (§10), canned attacks;
+//!   registers) behind the generic `SignatureRegister` trait layer
+//!   ([`core::api`]), test-or-set (§10), canned attacks;
 //! * [`spec`] — sequential specs, linearizability and Byzantine
 //!   linearizability checkers, property monitors for every Observation;
 //! * [`crypto`] — the idealized-signature baseline the paper is positioned
@@ -41,6 +42,35 @@
 //! writer.write(7)?;
 //! writer.sign(&7)?;
 //! assert!(reader.verify(&7)?); // "signed" — and deniable never again
+//! system.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Generic over register families
+//!
+//! The same workload, written once against the trait layer and usable
+//! with any of the three families:
+//!
+//! ```
+//! use byzreg::core::api::{SignatureRegister, SignatureSigner, SignatureVerifier};
+//! use byzreg::core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
+//! use byzreg::runtime::{ProcessId, Result, System};
+//!
+//! fn workload<R: SignatureRegister<u64>>(system: &System) -> Result<bool> {
+//!     let reg = R::install_default(system, 0);
+//!     let mut writer = reg.signer();
+//!     let mut reader = reg.verifier(ProcessId::new(2));
+//!     writer.write_value(7)?;
+//!     writer.sign_value(&7)?;
+//!     reader.verify_value(&7)
+//! }
+//!
+//! # fn main() -> Result<()> {
+//! let system = System::builder(4).build();
+//! assert!(workload::<VerifiableRegister<u64>>(&system)?);
+//! assert!(workload::<AuthenticatedRegister<u64>>(&system)?);
+//! assert!(workload::<StickyRegister<u64>>(&system)?);
 //! system.shutdown();
 //! # Ok(())
 //! # }

@@ -2,11 +2,31 @@
 //! prose. Each ablation removes one mechanism and demonstrates the anomaly
 //! the mechanism exists to prevent.
 
-use byzreg::core::{StickyRegister, VerifiableRegister};
+use byzreg::core::{attacks, StickyRegister, VerifiableRegister};
 use byzreg::runtime::{ProcessId, Scheduling, System};
 use byzreg::spec::linearize::check;
 use byzreg::spec::monitors::sticky_monitor;
 use byzreg::spec::registers::StickySpec;
+
+/// Builds the §9.1 ablation arena: `n = 7, f = 2`, with the two declared
+/// Byzantine processes running the `bottom_pusher` attack (always reply `⊥`
+/// with fresh round numbers). The adversary controls the schedule in the
+/// paper's model; the pushers supply `f` of the `f + 1` `⊥`-votes a reader
+/// needs, which makes the (scheduler-dependent) anomaly window wide enough
+/// to observe reliably.
+fn pusher_arena(seed: u64) -> (System, StickyRegister<u32>) {
+    let system = System::builder(7)
+        .scheduling(Scheduling::Chaotic(seed))
+        .byzantine(ProcessId::new(6))
+        .byzantine(ProcessId::new(7))
+        .build();
+    let reg = StickyRegister::install(&system);
+    for k in [6, 7] {
+        let ports = reg.attack_ports(ProcessId::new(k));
+        system.spawn_byzantine(ProcessId::new(k), attacks::sticky::bottom_pusher::<u32>(ports));
+    }
+    (system, reg)
+}
 
 /// §9.1: without the `n − f` witness wait, a `Read` invoked *after* a
 /// completed `Write(v)` can return `⊥` — the exact anomaly the paper warns
@@ -16,9 +36,7 @@ use byzreg::spec::registers::StickySpec;
 fn sticky_write_without_wait_exhibits_bottom_after_write() {
     let mut anomaly_seen = false;
     for seed in 0..200u64 {
-        // n = 7 widens the anomaly window (5 witnesses needed).
-        let system = System::builder(7).scheduling(Scheduling::Chaotic(seed)).build();
-        let reg = StickyRegister::install(&system);
+        let (system, reg) = pusher_arena(seed);
         let mut w = reg.writer();
         let mut r = reg.reader(ProcessId::new(2));
         w.write_without_witness_wait(5u32).unwrap();
@@ -47,12 +65,11 @@ fn sticky_write_without_wait_exhibits_bottom_after_write() {
 }
 
 /// Control for the ablation: with the real `Write` (witness wait included),
-/// the same schedule hunt finds no anomaly.
+/// the same adversary and schedule hunt finds no anomaly.
 #[test]
 fn sticky_write_with_wait_never_reads_bottom() {
     for seed in 0..40u64 {
-        let system = System::builder(7).scheduling(Scheduling::Chaotic(seed)).build();
-        let reg = StickyRegister::install(&system);
+        let (system, reg) = pusher_arena(seed);
         let mut w = reg.writer();
         let mut r = reg.reader(ProcessId::new(2));
         w.write(5u32).unwrap();
@@ -73,10 +90,8 @@ fn sticky_write_with_wait_never_reads_bottom() {
 #[test]
 fn set1_monotonicity_defeats_the_bind() {
     use byzreg::core::attacks;
-    let system = System::builder(4)
-        .scheduling(Scheduling::Chaotic(7))
-        .byzantine(ProcessId::new(4))
-        .build();
+    let system =
+        System::builder(4).scheduling(Scheduling::Chaotic(7)).byzantine(ProcessId::new(4)).build();
     let reg = VerifiableRegister::install(&system, 0u32);
     let ports = reg.attack_ports(ProcessId::new(4));
     system.spawn_byzantine(ProcessId::new(4), attacks::verifiable::vote_flipper(ports, 5));

@@ -53,12 +53,12 @@ fn reliable_broadcast_stream_properties() {
         }
     }
     // Every receiver gets every sender's full FIFO stream.
-    for i in 0..4usize {
+    for (i, ep) in eps.iter_mut().enumerate() {
         for s in 0..4usize {
             if i == s {
                 continue;
             }
-            let msgs = eps[i].deliver_all(ProcessId::new(s + 1)).unwrap();
+            let msgs = ep.deliver_all(ProcessId::new(s + 1)).unwrap();
             let expected: Vec<(usize, u32)> =
                 (0..3).map(|x| (x, (s as u32) * 10 + x as u32)).collect();
             assert_eq!(msgs, expected, "receiver p{} sender p{}", i + 1, s + 1);

@@ -86,10 +86,8 @@ fn byzantine_writer_history_is_byzantine_linearizable() {
 /// Byzantine linearizable and relay must hold.
 #[test]
 fn equivocating_writer_cannot_break_reads() {
-    let system = System::builder(4)
-        .scheduling(Scheduling::Chaotic(24))
-        .byzantine(ProcessId::new(1))
-        .build();
+    let system =
+        System::builder(4).scheduling(Scheduling::Chaotic(24)).byzantine(ProcessId::new(1)).build();
     let reg = AuthenticatedRegister::install(&system, 0u32);
     let ports = reg.attack_ports(ProcessId::new(1));
     system.spawn_byzantine(ProcessId::new(1), attacks::authenticated::equivocator(ports, 5, 6));
@@ -119,10 +117,8 @@ fn equivocating_writer_cannot_break_reads() {
 /// writer never wrote (Obs. 17).
 #[test]
 fn witness_forger_cannot_forge() {
-    let system = System::builder(4)
-        .scheduling(Scheduling::Chaotic(25))
-        .byzantine(ProcessId::new(4))
-        .build();
+    let system =
+        System::builder(4).scheduling(Scheduling::Chaotic(25)).byzantine(ProcessId::new(4)).build();
     let reg = AuthenticatedRegister::install(&system, 0u32);
     let ports = reg.attack_ports(ProcessId::new(4));
     system.spawn_byzantine(ProcessId::new(4), attacks::authenticated::witness_forger(ports, 666));

@@ -81,9 +81,6 @@ fn sticky_register_sweep() {
         t3.join().unwrap();
         system.shutdown();
         let ops = reg.history().complete_ops();
-        assert!(
-            check(&StickySpec::<u32>::new(), &ops).is_linearizable(),
-            "seed {seed}: {ops:?}"
-        );
+        assert!(check(&StickySpec::<u32>::new(), &ops).is_linearizable(), "seed {seed}: {ops:?}");
     }
 }

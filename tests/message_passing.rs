@@ -8,7 +8,8 @@
 
 use std::time::Duration;
 
-use byzreg::core::{StickyRegister, VerifiableRegister};
+use byzreg::core::api::{SignatureRegister, SignatureSigner, SignatureVerifier};
+use byzreg::core::{AuthenticatedRegister, Family, StickyRegister, VerifiableRegister};
 use byzreg::mp::{MpConfig, MpFactory, MpRegister, Msg, NetConfig};
 use byzreg::runtime::{ProcessId, System};
 use byzreg::spec::linearize::check;
@@ -99,37 +100,50 @@ fn emulated_register_is_linearizable_under_attack() {
     reg.shutdown();
 }
 
+/// All three register families run unchanged over the MP substrate: one
+/// generic workload through the `SignatureRegister` trait layer, with the
+/// base registers sourced from `MpFactory` — every shared-memory step
+/// becomes a quorum round trip.
+fn family_over_message_passing<R: SignatureRegister<u32>>() {
+    let fam = R::FAMILY;
+    let system = System::builder(4).build();
+    let factory = MpFactory::default();
+    let reg = R::install_with_factory(&system, 0, &factory);
+    assert!(factory.spawned() > 0, "{fam}: base registers must be MP emulations");
+    let mut w = reg.signer();
+    let mut r = reg.verifier(ProcessId::new(2));
+
+    w.write_value(7).unwrap();
+    if fam == Family::Verifiable {
+        assert!(!r.verify_value(&7).unwrap(), "verifiable: written but unsigned");
+    }
+    assert!(w.sign_value(&7).unwrap());
+    assert_eq!(r.read_value().unwrap(), Some(7), "{fam} over MP");
+    assert!(r.verify_value(&7).unwrap(), "{fam} over MP");
+    let mut r3 = reg.verifier(ProcessId::new(3));
+    assert!(r3.verify_value(&7).unwrap(), "{fam}: relay holds over message passing too");
+
+    // Second write: sticky ignores it, the others follow it.
+    w.write_value(9).unwrap();
+    let expect = if fam == Family::Sticky { Some(7) } else { Some(9) };
+    assert_eq!(r.read_value().unwrap(), expect, "{fam} over MP after rewrite");
+    system.shutdown();
+}
+
 /// Algorithm 1 (verifiable register) runs unchanged over the MP substrate.
 #[test]
 fn verifiable_register_over_message_passing() {
-    let system = System::builder(4).build();
-    let factory = MpFactory::default();
-    let reg = VerifiableRegister::install_with(&system, 0u32, &factory);
-    let mut w = reg.writer();
-    let mut r = reg.reader(ProcessId::new(2));
+    family_over_message_passing::<VerifiableRegister<u32>>();
+}
 
-    w.write(7).unwrap();
-    assert_eq!(r.read().unwrap(), 7);
-    assert!(!r.verify(&7).unwrap(), "written but unsigned");
-    assert!(w.sign(&7).unwrap());
-    assert!(r.verify(&7).unwrap());
-    let mut r3 = reg.reader(ProcessId::new(3));
-    assert!(r3.verify(&7).unwrap(), "relay holds over message passing too");
-    system.shutdown();
+/// Algorithm 2 (authenticated register) runs unchanged over the MP substrate.
+#[test]
+fn authenticated_register_over_message_passing() {
+    family_over_message_passing::<AuthenticatedRegister<u32>>();
 }
 
 /// Algorithm 3 (sticky register) runs unchanged over the MP substrate.
 #[test]
 fn sticky_register_over_message_passing() {
-    let system = System::builder(4).build();
-    let factory = MpFactory::default();
-    let reg = StickyRegister::install_with(&system, &factory);
-    let mut w = reg.writer();
-    let mut r = reg.reader(ProcessId::new(3));
-
-    w.write(11u32).unwrap();
-    assert_eq!(r.read().unwrap(), Some(11));
-    w.write(99).unwrap();
-    assert_eq!(r.read().unwrap(), Some(11), "sticky over MP");
-    system.shutdown();
+    family_over_message_passing::<StickyRegister<u32>>();
 }

@@ -155,7 +155,6 @@ proptest! {
         let mut handles = Vec::new();
         for k in 2..=4 {
             let mut r = reg.reader(ProcessId::new(k));
-            let reads = reads;
             handles.push(std::thread::spawn(move || {
                 for _ in 0..reads {
                     let _ = r.read().unwrap();

@@ -81,10 +81,8 @@ fn equivocating_writer_cannot_defeat_uniqueness() {
 /// A bottom-pushing Byzantine helper cannot un-write a completed write.
 #[test]
 fn bottom_pusher_cannot_unwrite() {
-    let system = System::builder(4)
-        .scheduling(Scheduling::Chaotic(44))
-        .byzantine(ProcessId::new(4))
-        .build();
+    let system =
+        System::builder(4).scheduling(Scheduling::Chaotic(44)).byzantine(ProcessId::new(4)).build();
     let reg = StickyRegister::install(&system);
     let ports = reg.attack_ports(ProcessId::new(4));
     system.spawn_byzantine(ProcessId::new(4), attacks::sticky::bottom_pusher::<u32>(ports));

@@ -32,8 +32,7 @@ macro_rules! check_construction {
         #[test]
         fn $name() {
             for seed in [61u64, 62, 63, 64, 65] {
-                let system =
-                    System::builder(4).scheduling(Scheduling::Chaotic(seed)).build();
+                let system = System::builder(4).scheduling(Scheduling::Chaotic(seed)).build();
                 let tos = $ty::install(&system);
                 let setter = tos.setter();
                 let testers: Vec<Box<dyn FnOnce() -> bool + Send>> = (2..=4)

@@ -45,10 +45,7 @@ fn concurrent_correct_history_linearizes() {
         }
         system.shutdown();
         let ops = reg.history().complete_ops();
-        assert!(
-            verifiable_monitor(&ops).is_ok(),
-            "seed {seed}: monitor violation in {ops:?}"
-        );
+        assert!(verifiable_monitor(&ops).is_ok(), "seed {seed}: monitor violation in {ops:?}");
         assert!(
             check(&VerifiableSpec { v0: 0u32 }, &ops).is_linearizable(),
             "seed {seed}: not linearizable: {ops:?}"
@@ -123,10 +120,8 @@ fn byzantine_writer_history_is_byzantine_linearizable() {
 /// break relay or block termination.
 #[test]
 fn vote_flipping_reader_cannot_break_relay_or_termination() {
-    let system = System::builder(4)
-        .scheduling(Scheduling::Chaotic(44))
-        .byzantine(ProcessId::new(4))
-        .build();
+    let system =
+        System::builder(4).scheduling(Scheduling::Chaotic(44)).byzantine(ProcessId::new(4)).build();
     let reg = VerifiableRegister::install(&system, 0u32);
     let ports = reg.attack_ports(ProcessId::new(4));
     system.spawn_byzantine(ProcessId::new(4), attacks::verifiable::vote_flipper(ports, 5));

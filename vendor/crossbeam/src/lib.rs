@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, layered over
+//! `std::sync::mpsc`. Semantic deviation from real crossbeam:
+//! [`channel::bounded`] channels are actually unbounded (the workspace
+//! only uses `bounded(1)` for single-reply rendezvous, where capacity
+//! is irrelevant), and receivers are not clonable (MPSC, not MPMC —
+//! again sufficient for this workspace).
+
+/// Multi-producer channels (std-backed).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    use std::time::Duration;
+
+    /// The sending half of a channel. Clonable.
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`; fails only if the receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks for the next message up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// Creates a "bounded" channel (capacity is advisory here; see the
+    /// crate docs).
+    #[must_use]
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv().unwrap(), 5);
+        }
+
+        #[test]
+        fn cloned_senders_feed_one_receiver() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn recv_timeout_expires() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+        }
+
+        #[test]
+        fn try_recv_is_nonblocking() {
+            let (tx, rx) = bounded(1);
+            assert!(rx.try_recv().is_err());
+            tx.send(9).unwrap();
+            assert_eq!(rx.try_recv().unwrap(), 9);
+        }
+    }
+}
