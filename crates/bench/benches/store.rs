@@ -1,0 +1,78 @@
+//! B8 — the sharded store: the batched `verify_many`/`read_many` paths
+//! against the per-key loop, per register family, under the skewed batch
+//! shape real stores see (hot keys repeating within a batch).
+//!
+//! The batched path groups a batch by key, dedupes identical checks, and
+//! runs each key's distinct values through **one** §5.1 round sequence;
+//! the loop pays a full round sequence per check. The machine-readable
+//! version of this comparison is emitted by the `store_workload` binary
+//! into `BENCH_store.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use byzreg_bench::bench_system;
+use byzreg_core::api::SignatureRegister;
+use byzreg_core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
+use byzreg_runtime::{LocalFactory, ProcessId};
+use byzreg_store::store::{ByzStore, StoreConfig};
+use byzreg_store::workload::{build_check_batch, value_of};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BATCH: usize = 64;
+const KEY_SPACE: u64 = 256;
+const SKEW: f64 = 0.85;
+
+fn bench_store<R: SignatureRegister<u64>>(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    let system = bench_system(4);
+    let store: ByzStore<'_, u64, u64, R, _> =
+        ByzStore::new(&system, LocalFactory, 0, StoreConfig { shards: 8 });
+    let mut rng = StdRng::seed_from_u64(42);
+    let checks = build_check_batch(&mut rng, KEY_SPACE, SKEW, BATCH);
+    // Prepopulate every key the batch touches so the measurement sees
+    // steady-state verification, not first-touch instantiation.
+    for (key, _) in &checks {
+        store.write(*key, value_of(*key)).unwrap();
+    }
+    let pid = ProcessId::new(2);
+
+    group.bench_with_input(BenchmarkId::new("verify_looped", R::FAMILY), &BATCH, |b, _| {
+        b.iter(|| {
+            for (key, v) in &checks {
+                let _ = store.verify(pid, key, v).unwrap();
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("verify_batched", R::FAMILY), &BATCH, |b, _| {
+        b.iter(|| store.verify_many(pid, &checks).unwrap());
+    });
+
+    let keys: Vec<u64> = checks.iter().map(|(k, _)| *k).collect();
+    group.bench_with_input(BenchmarkId::new("read_looped", R::FAMILY), &BATCH, |b, _| {
+        b.iter(|| {
+            for key in &keys {
+                let _ = store.read(pid, key).unwrap();
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("read_batched", R::FAMILY), &BATCH, |b, _| {
+        b.iter(|| store.read_many(pid, &keys).unwrap());
+    });
+
+    group.finish();
+    system.shutdown();
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_store::<VerifiableRegister<u64>>(c);
+    bench_store::<AuthenticatedRegister<u64>>(c);
+    bench_store::<StickyRegister<u64>>(c);
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! The store baseline driver: runs the seeded mixed workload per register
+//! family × backend and emits the machine-readable `BENCH_store.json`
+//! (ops/sec + p50/p99 per operation kind, plus the batched-vs-looped
+//! verify comparison that documents the `verify_many` amortization).
+//!
+//! ```sh
+//! cargo run --release -p byzreg-bench --bin store_workload               # BENCH_store.json
+//! cargo run --release -p byzreg-bench --bin store_workload -- out.json   # custom path
+//! cargo run --release -p byzreg-bench --bin store_workload -- --full     # longer shm runs
+//! ```
+//!
+//! CI runs the short (default) shape and uploads the JSON, so the store's
+//! perf trajectory is tracked from the PR that introduced it.
+
+use byzreg_bench::{fmt_ns, measure};
+use byzreg_core::api::SignatureRegister;
+use byzreg_core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
+use byzreg_mp::MpFactory;
+use byzreg_runtime::{LocalFactory, ProcessId};
+use byzreg_store::store::{ByzStore, StoreConfig};
+use byzreg_store::workload::{
+    build_check_batch, build_system, run_workload, value_of, WorkloadConfig,
+};
+use byzreg_store::WorkloadReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut out = "BENCH_store.json".to_string();
+    let mut full = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--full" {
+            full = true;
+        } else {
+            out = arg;
+        }
+    }
+
+    println!("store workload baselines ({} shape)", if full { "full" } else { "short" });
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12} {:>8}",
+        "family/backend", "ops", "ops/sec", "p50", "p99", "keys"
+    );
+
+    let mut runs = Vec::new();
+    runs.extend(family_runs::<VerifiableRegister<u64>>(full));
+    runs.extend(family_runs::<AuthenticatedRegister<u64>>(full));
+    runs.extend(family_runs::<StickyRegister<u64>>(full));
+
+    println!();
+    println!("batched verify_many vs per-key loop (shm, skewed 96-check batch)");
+    println!("{:<14} {:>14} {:>14} {:>9}", "family", "looped/check", "batched/check", "speedup");
+    let comparisons = vec![
+        batch_comparison::<VerifiableRegister<u64>>(),
+        batch_comparison::<AuthenticatedRegister<u64>>(),
+        batch_comparison::<StickyRegister<u64>>(),
+    ];
+
+    let json = render_json(&runs, &comparisons);
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}
+
+/// The shared-memory workload shape (the acceptance smoke, scaled up under
+/// `--full`).
+fn shm_cfg(full: bool) -> WorkloadConfig {
+    let mut cfg = WorkloadConfig::smoke();
+    if full {
+        cfg.ops = 2048;
+    }
+    cfg
+}
+
+/// The message-passing workload shape: same key space and shard count, far
+/// fewer operations and a hotter key set — every base-register access is a
+/// quorum protocol over a simulated network, and each instantiated key
+/// spawns its register fabric's node threads.
+fn mp_cfg(full: bool) -> WorkloadConfig {
+    WorkloadConfig {
+        keys: 1024,
+        shards: 8,
+        ops: if full { 48 } else { 24 },
+        read_pct: 40,
+        write_pct: 35,
+        batch: 8,
+        skew: 0.95,
+        writers: 1,
+        readers: 1,
+        n: 4,
+        byzantine: 1,
+        seed: 7,
+    }
+}
+
+fn print_run(report: &WorkloadReport) {
+    println!(
+        "{:<14} {:>8} {:>12.0} {:>12} {:>12} {:>8}",
+        format!("{}/{}", report.family, report.backend),
+        report.ops,
+        report.ops_per_sec,
+        fmt_ns(report.verify.p50_ns as f64),
+        fmt_ns(report.verify.p99_ns as f64),
+        report.distinct_keys,
+    );
+}
+
+fn family_runs<R: SignatureRegister<u64>>(full: bool) -> Vec<WorkloadReport> {
+    let shm = shm_cfg(full);
+    let system = build_system(&shm);
+    let shm_report = run_workload::<R, _>(&system, LocalFactory, "shm", &shm).expect("shm run");
+    system.shutdown();
+    print_run(&shm_report);
+
+    let mp = mp_cfg(full);
+    let system = build_system(&mp);
+    let factory = MpFactory::default();
+    let mp_report = run_workload::<R, _>(&system, &factory, "mp", &mp).expect("mp run");
+    system.shutdown();
+    print_run(&mp_report);
+
+    vec![shm_report, mp_report]
+}
+
+struct BatchComparison {
+    family: &'static str,
+    checks: usize,
+    looped_ns_per_check: f64,
+    batched_ns_per_check: f64,
+}
+
+impl BatchComparison {
+    fn speedup(&self) -> f64 {
+        self.looped_ns_per_check / self.batched_ns_per_check
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"family\":\"{}\",\"backend\":\"shm\",\"checks\":{},\
+             \"looped_ns_per_check\":{:.1},\"batched_ns_per_check\":{:.1},\"speedup\":{:.2}}}",
+            self.family,
+            self.checks,
+            self.looped_ns_per_check,
+            self.batched_ns_per_check,
+            self.speedup()
+        )
+    }
+}
+
+/// Measures the same skewed batch through the per-key loop and through
+/// `verify_many` on an otherwise idle prepopulated store.
+fn batch_comparison<R: SignatureRegister<u64>>() -> BatchComparison {
+    const CHECKS: usize = 96;
+    let cfg = WorkloadConfig::smoke();
+    let system = build_system(&cfg);
+    let store: ByzStore<'_, u64, u64, R, _> =
+        ByzStore::new(&system, LocalFactory, 0, StoreConfig { shards: cfg.shards });
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let checks = build_check_batch(&mut rng, 512, 0.85, CHECKS);
+    for (key, _) in &checks {
+        store.write(*key, value_of(*key)).expect("prepopulate");
+    }
+    let pid = ProcessId::new(2);
+    let looped = measure(1, 6, || {
+        for (key, v) in &checks {
+            let _ = store.verify(pid, key, v).unwrap();
+        }
+    }) / CHECKS as f64;
+    let batched = measure(1, 6, || {
+        store.verify_many(pid, &checks).unwrap();
+    }) / CHECKS as f64;
+    system.shutdown();
+    let comparison = BatchComparison {
+        family: R::FAMILY.label(),
+        checks: CHECKS,
+        looped_ns_per_check: looped,
+        batched_ns_per_check: batched,
+    };
+    println!(
+        "{:<14} {:>14} {:>14} {:>8.2}x",
+        comparison.family,
+        fmt_ns(comparison.looped_ns_per_check),
+        fmt_ns(comparison.batched_ns_per_check),
+        comparison.speedup()
+    );
+    comparison
+}
+
+fn render_json(runs: &[WorkloadReport], comparisons: &[BatchComparison]) -> String {
+    let runs_json: Vec<String> = runs.iter().map(WorkloadReport::to_json).collect();
+    let cmp_json: Vec<String> = comparisons.iter().map(BatchComparison::to_json).collect();
+    format!(
+        "{{\n  \"bench\": \"store\",\n  \"runs\": [\n    {}\n  ],\n  \
+         \"batch_comparison\": [\n    {}\n  ]\n}}\n",
+        runs_json.join(",\n    "),
+        cmp_json.join(",\n    ")
+    )
+}

@@ -117,6 +117,25 @@ pub trait SignatureVerifier<V: Value>: Send {
     ///
     /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
     fn verify_value(&mut self, v: &V) -> Result<bool>;
+
+    /// Checks the signature property of every value in `vs`, returning one
+    /// outcome per value, in order.
+    ///
+    /// Semantically equivalent to calling
+    /// [`verify_value`](SignatureVerifier::verify_value) once per value —
+    /// which is exactly what the default does. Families override it to
+    /// amortize the §5.1 quorum machinery across the batch: the
+    /// verifiable/authenticated readers run **one** shared round sequence
+    /// for the whole batch (`byzreg_core::quorum::verify_quorum_many`), and
+    /// the sticky reader answers every check from a single quorum read of
+    /// its immutable content.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    fn verify_many(&mut self, vs: &[V]) -> Result<Vec<bool>> {
+        vs.iter().map(|v| self.verify_value(v)).collect()
+    }
 }
 
 /// An installed register instance of one family.
@@ -208,6 +227,10 @@ impl<V: Value> SignatureVerifier<V> for VerifiableReader<V> {
     fn verify_value(&mut self, v: &V) -> Result<bool> {
         self.verify(v)
     }
+
+    fn verify_many(&mut self, vs: &[V]) -> Result<Vec<bool>> {
+        VerifiableReader::verify_many(self, vs)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -255,6 +278,10 @@ impl<V: Value> SignatureVerifier<V> for AuthenticatedReader<V> {
 
     fn verify_value(&mut self, v: &V) -> Result<bool> {
         self.verify(v)
+    }
+
+    fn verify_many(&mut self, vs: &[V]) -> Result<Vec<bool>> {
+        AuthenticatedReader::verify_many(self, vs)
     }
 }
 
@@ -308,6 +335,16 @@ impl<V: Value> SignatureVerifier<V> for StickyReader<V> {
     fn verify_value(&mut self, v: &V) -> Result<bool> {
         Ok(self.read()?.as_ref() == Some(v))
     }
+
+    /// One quorum read answers the whole batch: the register content never
+    /// changes, so every check compares against the same stuck value.
+    fn verify_many(&mut self, vs: &[V]) -> Result<Vec<bool>> {
+        if vs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let stuck = self.read()?;
+        Ok(vs.iter().map(|v| stuck.as_ref() == Some(v)).collect())
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +369,29 @@ mod tests {
         family_smoke::<VerifiableRegister<u32>>(&system);
         family_smoke::<AuthenticatedRegister<u32>>(&system);
         family_smoke::<StickyRegister<u32>>(&system);
+        system.shutdown();
+    }
+
+    fn batch_matches_loop<R: SignatureRegister<u32>>(system: &System) {
+        let reg = R::install_default(system, 0);
+        let mut w = reg.signer();
+        let mut r = reg.verifier(ProcessId::new(2));
+        w.write_value(3).unwrap();
+        assert!(w.sign_value(&3).unwrap());
+        let vs = [3u32, 8, 3, 5];
+        let batched = r.verify_many(&vs).unwrap();
+        let looped: Vec<bool> = vs.iter().map(|v| r.verify_value(v).unwrap()).collect();
+        assert_eq!(batched, looped, "{}: batched != per-value loop", R::FAMILY);
+        assert_eq!(batched, vec![true, false, true, false], "{}", R::FAMILY);
+        assert!(r.verify_many(&[]).unwrap().is_empty(), "{}", R::FAMILY);
+    }
+
+    #[test]
+    fn verify_many_agrees_with_per_value_verify_for_all_families() {
+        let system = System::builder(4).scheduling(Scheduling::Chaotic(9)).build();
+        batch_matches_loop::<VerifiableRegister<u32>>(&system);
+        batch_matches_loop::<AuthenticatedRegister<u32>>(&system);
+        batch_matches_loop::<StickyRegister<u32>>(&system);
         system.shutdown();
     }
 

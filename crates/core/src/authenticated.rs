@@ -47,7 +47,9 @@ use byzreg_runtime::{
 };
 use byzreg_spec::registers::{AuthInv, AuthResp};
 
-use crate::quorum::{verify_quorum, AskerTracker, Endpoints, QuorumFabric, Reply};
+use crate::quorum::{
+    verify_quorum, verify_quorum_many, AskerTracker, Endpoints, QuorumFabric, Reply,
+};
 
 /// A process's witness set (content of `R_j`, `j ≠ 1`).
 pub type WitnessSet<V> = BTreeSet<V>;
@@ -467,6 +469,29 @@ impl<V: Value> AuthenticatedReader<V> {
             .run_as(self.pid, || verify_quorum(&self.env, &self.ck_w, &self.reply_column, v))?;
         self.log.respond(op, self.pid, AuthResp::VerifyResult(outcome));
         Ok(outcome)
+    }
+
+    /// Batched `Verify`: decides every value of `vs` in **one** shared §5.1
+    /// round sequence instead of `vs.len()` of them (see
+    /// [`crate::quorum::quorum_rounds_many`]). Outcomes are returned in
+    /// input order; each is exactly what a standalone
+    /// [`verify`](AuthenticatedReader::verify) spanning the batch would
+    /// return.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn verify_many(&mut self, vs: &[V]) -> Result<Vec<bool>> {
+        self.env.check_running()?;
+        let ops: Vec<_> =
+            vs.iter().map(|v| self.log.invoke(self.pid, AuthInv::Verify(v.clone()))).collect();
+        let outcomes = self.env.run_as(self.pid, || {
+            verify_quorum_many(&self.env, &self.ck_w, &self.reply_column, vs)
+        })?;
+        for (op, outcome) in ops.into_iter().zip(&outcomes) {
+            self.log.respond(op, self.pid, AuthResp::VerifyResult(*outcome));
+        }
+        Ok(outcomes)
     }
 }
 

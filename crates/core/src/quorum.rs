@@ -51,6 +51,13 @@ pub enum Ballot {
 ///
 /// `replies` is the asker's reply column `R_{j,k}` over all processes `p_j`.
 ///
+/// [`quorum_rounds_many`] is this loop's batched sibling; it is kept as a
+/// separate copy so this single-item path stays annotated line-by-line
+/// against Algorithm 1 and pays no extra reply clone. **Any change to the
+/// round protocol here must be mirrored there** (the
+/// `quorum_rounds_many_matches_single_engine_outcomes` test compares the
+/// two).
+///
 /// # Errors
 ///
 /// Returns [`byzreg_runtime::Error::Shutdown`] if the system shuts down
@@ -112,6 +119,98 @@ pub fn quorum_rounds<W: Value, T>(
     }
 }
 
+/// The batched §5.1 round engine: runs `items` independent voting loops in
+/// one round sequence, sharing the asker counter `C_k` and the reply reads
+/// across the whole batch.
+///
+/// Each item keeps its own `set1`/`set0`; a reply fresh for the current
+/// round is tallied against **every** still-undecided item whose sets do
+/// not yet classify the helper. Each item therefore observes a subsequence
+/// of the shared rounds that is, on its own, a valid execution of
+/// [`quorum_rounds`]: freshness only requires a reply to answer a `C_k`
+/// bump issued after the item's previous transition, and extra bumps in
+/// between are indistinguishable from scheduling delay. The per-item
+/// safety and termination arguments of §5.1 carry over unchanged, while a
+/// batch of `m` values costs one round sequence instead of `m`.
+///
+/// `tally` receives `(item, helper, reply)`, `decide` receives
+/// `(item, n1, n0)`; the returned vector is indexed by item.
+///
+/// # Errors
+///
+/// Returns [`byzreg_runtime::Error::Shutdown`] if the system shuts down
+/// mid-operation.
+pub fn quorum_rounds_many<W: Value, T>(
+    env: &Env,
+    ck: &WritePort<u64>,
+    replies: &[ReadPort<Tagged<W>>],
+    items: usize,
+    mut tally: impl FnMut(usize, usize, &W) -> Ballot,
+    mut decide: impl FnMut(usize, usize, usize) -> Option<T>,
+) -> Result<Vec<T>> {
+    let n = env.n();
+    debug_assert_eq!(replies.len(), n);
+    let mut set1 = vec![vec![false; n]; items];
+    let mut set0 = vec![vec![false; n]; items];
+    let mut n1 = vec![0usize; items];
+    let mut n0 = vec![0usize; items];
+    let mut outcome: Vec<Option<T>> = (0..items).map(|_| None).collect();
+    let mut pending = items;
+
+    while pending > 0 {
+        env.check_running()?;
+        let my_ck = ck.update(|c| {
+            *c += 1;
+            *c
+        });
+        // A helper is relevant while some undecided item has not yet
+        // classified it. Computed once per round — the sets and outcomes
+        // only change after a reply is processed — so the wait below costs
+        // O(n) per spin instead of O(n·items).
+        let relevant: Vec<bool> = (0..n)
+            .map(|j| (0..items).any(|i| outcome[i].is_none() && !set1[i][j] && !set0[i][j]))
+            .collect();
+        // Wait for one fresh reply from a relevant helper (the batched
+        // form of lines 14-17; an undecided item always has one, cf.
+        // `quorum_rounds`).
+        let (j, r_j) = 'fresh: loop {
+            env.check_running()?;
+            for (j, port) in replies.iter().enumerate() {
+                if !relevant[j] {
+                    continue;
+                }
+                let (r_j, c_j) = port.read();
+                if c_j >= my_ck {
+                    break 'fresh (j, r_j);
+                }
+            }
+        };
+        // One physical reply feeds every item that would still accept it.
+        for i in 0..items {
+            if outcome[i].is_some() || set1[i][j] || set0[i][j] {
+                continue;
+            }
+            match tally(i, j, &r_j) {
+                Ballot::Affirm => {
+                    set1[i][j] = true;
+                    n1[i] += 1;
+                    set0[i] = vec![false; n];
+                    n0[i] = 0;
+                }
+                Ballot::Dissent => {
+                    set0[i][j] = true;
+                    n0[i] += 1;
+                }
+            }
+            if let Some(t) = decide(i, n1[i], n0[i]) {
+                outcome[i] = Some(t);
+                pending -= 1;
+            }
+        }
+    }
+    Ok(outcome.into_iter().map(|t| t.expect("all items decided")).collect())
+}
+
 /// Runs the `Verify(v)` procedure of Algorithms 1 and 2 (lines 11–24 /
 /// 10–23) for the reader owning `ck`: `|set1| ≥ n − f` decides `true`,
 /// `|set0| > f` decides `false`.
@@ -137,6 +236,40 @@ pub fn verify_quorum<V: Value>(
         replies,
         |_, r_j| if r_j.contains(v) { Ballot::Affirm } else { Ballot::Dissent },
         |n1, n0| {
+            if n1 >= n - f {
+                Some(true)
+            } else if n0 > f {
+                Some(false)
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// Batched `Verify`: decides every value of `vs` in one shared round
+/// sequence (see [`quorum_rounds_many`]), with the same per-value decision
+/// rule as [`verify_quorum`]. Returns one outcome per value, in order.
+///
+/// # Errors
+///
+/// Returns [`byzreg_runtime::Error::Shutdown`] if the system shuts down
+/// mid-operation.
+pub fn verify_quorum_many<V: Value>(
+    env: &Env,
+    ck: &WritePort<u64>,
+    replies: &[ReadPort<Reply<V>>],
+    vs: &[V],
+) -> Result<Vec<bool>> {
+    let n = env.n();
+    let f = env.f();
+    quorum_rounds_many(
+        env,
+        ck,
+        replies,
+        vs.len(),
+        |i, _, r_j| if r_j.contains(&vs[i]) { Ballot::Affirm } else { Ballot::Dissent },
+        |_, n1, n0| {
             if n1 >= n - f {
                 Some(true)
             } else if n0 > f {
@@ -426,6 +559,90 @@ mod tests {
         )
         .unwrap();
         assert_eq!(got, Some(9));
+    }
+
+    #[test]
+    fn verify_quorum_many_decides_each_value_independently() {
+        // Replies witness {3, 7} everywhere: 3 and 7 decide true, 9 decides
+        // false, all in one shared round sequence.
+        let sys = System::builder(4).build();
+        let env = sys.env().clone();
+        let (ck_w, ck_r) = register::swmr(env.gate(), ProcessId::new(2), "C2", 0u64);
+        let mut cols = Vec::new();
+        for j in 1..=4 {
+            let mut set = BTreeSet::new();
+            set.insert(3u32);
+            set.insert(7u32);
+            let (_w, r) =
+                register::swmr(env.gate(), ProcessId::new(j), format!("R{j}2"), (set, u64::MAX));
+            cols.push(r);
+        }
+        let got = verify_quorum_many(&env, &ck_w, &cols, &[3, 9, 7]).unwrap();
+        assert_eq!(got, vec![true, false, true]);
+        assert!(ck_r.read() >= 1, "the batch bumped the shared asker counter");
+    }
+
+    #[test]
+    fn verify_quorum_many_on_empty_batch_takes_no_steps() {
+        let sys = System::builder(4).build();
+        let env = sys.env().clone();
+        let (ck_w, ck_r) = register::swmr(env.gate(), ProcessId::new(2), "C2", 0u64);
+        let cols: Vec<ReadPort<Reply<u32>>> = (1..=4)
+            .map(|j| {
+                register::swmr(
+                    env.gate(),
+                    ProcessId::new(j),
+                    format!("R{j}2"),
+                    (BTreeSet::new(), 0u64),
+                )
+                .1
+            })
+            .collect();
+        let got = verify_quorum_many::<u32>(&env, &ck_w, &cols, &[]).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(ck_r.read(), 0, "no rounds were run");
+    }
+
+    #[test]
+    fn quorum_rounds_many_matches_single_engine_outcomes() {
+        let sys = System::builder(4).build();
+        let env = sys.env().clone();
+        let mut cols = Vec::new();
+        for j in 1..=4 {
+            let mut set = BTreeSet::new();
+            set.insert(5u32);
+            let (_w, r) =
+                register::swmr(env.gate(), ProcessId::new(j), format!("R{j}2"), (set, u64::MAX));
+            cols.push(r);
+        }
+        let (ck_a, _) = register::swmr(env.gate(), ProcessId::new(2), "Ca", 0u64);
+        let batched = verify_quorum_many(&env, &ck_a, &cols, &[5u32, 6]).unwrap();
+        let (ck_b, _) = register::swmr(env.gate(), ProcessId::new(2), "Cb", 0u64);
+        let singles = vec![
+            verify_quorum(&env, &ck_b, &cols, &5u32).unwrap(),
+            verify_quorum(&env, &ck_b, &cols, &6u32).unwrap(),
+        ];
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn quorum_rounds_many_aborts_on_shutdown() {
+        let sys = System::builder(4).build();
+        let env = sys.env().clone();
+        let (ck_w, _) = register::swmr(env.gate(), ProcessId::new(2), "C2", 0u64);
+        let mut cols = Vec::new();
+        for j in 1..=4 {
+            // Stale timestamps: nobody ever replies.
+            let (_w, r) = register::swmr(
+                env.gate(),
+                ProcessId::new(j),
+                format!("R{j}2"),
+                (BTreeSet::<u32>::new(), 0u64),
+            );
+            cols.push(r);
+        }
+        sys.shutdown();
+        assert!(verify_quorum_many(&env, &ck_w, &cols, &[7]).is_err());
     }
 
     #[test]

@@ -31,12 +31,32 @@ struct MpCell<T: Value> {
 }
 
 impl<T: Value> MpCell<T> {
+    /// Routes an access to the protocol client of the process the current
+    /// thread participates as.
+    ///
+    /// The fallback rules are deterministic and narrow:
+    ///
+    /// * a thread with **no** participation (plain test code) uses the
+    ///   owner's client, or — when the owner is declared Byzantine and has
+    ///   none — the lowest-pid correct client;
+    /// * a thread **participating** as a pid with no client is a
+    ///   participation bug (a declared-Byzantine process executing
+    ///   correct-process code; adversaries must attack at the message
+    ///   level instead). Debug builds assert on it rather than silently
+    ///   borrowing another process's client and masking the bug; release
+    ///   builds degrade to the same lowest-pid fallback.
     fn client_for_current_thread(&self) -> &MpClient<T> {
-        let pid = Participation::current_pid().unwrap_or(self.owner);
-        self.clients[pid.zero_based()]
-            .as_ref()
-            .or_else(|| self.clients.iter().flatten().next())
-            .expect("at least one correct client")
+        let participant = Participation::current_pid();
+        let pid = participant.unwrap_or(self.owner);
+        if let Some(client) = self.clients[pid.zero_based()].as_ref() {
+            return client;
+        }
+        debug_assert!(
+            participant.is_none(),
+            "thread participating as {pid} has no protocol client: declared-Byzantine \
+             processes must attack at the message level, not run correct-process code"
+        );
+        self.clients.iter().flatten().next().expect("at least one correct client")
     }
 
     fn owner_client(&self) -> &MpClient<T> {
@@ -154,6 +174,31 @@ mod tests {
         w.update(|v| v.push(1));
         w.update(|v| v.push(2));
         assert_eq!(r.read(), vec![1, 2]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "has no protocol client")]
+    fn participating_byzantine_thread_asserts_in_debug() {
+        let sys = System::builder(4).byzantine(ProcessId::new(2)).build();
+        let factory = MpFactory::default();
+        let (_w, r) = factory.create(sys.env(), ProcessId::new(1), "R".into(), 0u32);
+        // p2 is declared Byzantine, so it has no protocol client; running
+        // correct-process code as p2 is exactly the participation bug the
+        // debug assertion exists to surface.
+        sys.env().run_as(ProcessId::new(2), || {
+            let _ = r.read();
+        });
+    }
+
+    #[test]
+    fn unparticipating_reads_fall_back_deterministically() {
+        // Owner p1 is Byzantine: a plain (non-participating) test thread
+        // must still read, through the lowest-pid correct client.
+        let sys = System::builder(4).byzantine(ProcessId::new(1)).build();
+        let factory = MpFactory::default();
+        let (_w, r) = factory.create(sys.env(), ProcessId::new(1), "R".into(), 5u32);
+        assert_eq!(r.read(), 5);
     }
 
     #[test]

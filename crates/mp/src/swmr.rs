@@ -252,15 +252,29 @@ fn decide_read<V: Value>(
 }
 
 fn node_loop<V: Value>(mut node: Node<V>, cmds: Receiver<Cmd<V>>, stop: Arc<AtomicBool>) {
+    // Idle backoff: a node with no in-flight client op and no traffic
+    // doubles its poll interval up to `IDLE_MAX`, then snaps back to
+    // `BASE` on any activity. A keyed store instantiates *hundreds* of
+    // emulated registers, most idle at any instant; without the backoff
+    // their node threads wake every `BASE` and the context-switch load
+    // alone saturates cores. The price is a few ms of pickup latency on
+    // the first operation after a quiet spell.
+    const BASE: Duration = Duration::from_micros(300);
+    const IDLE_MAX: Duration = Duration::from_millis(5);
+    let mut timeout = BASE;
     while !stop.load(Ordering::Relaxed) {
         // Accept one new client command when idle.
         if node.write_op.is_none() && node.read_op.is_none() {
             if let Ok(cmd) = cmds.try_recv() {
                 node.start(cmd);
+                timeout = BASE;
             }
         }
-        if let Some((from, msg)) = node.ep.recv_timeout(Duration::from_micros(300)) {
+        if let Some((from, msg)) = node.ep.recv_timeout(timeout) {
             node.handle(from, msg);
+            timeout = BASE;
+        } else if node.write_op.is_none() && node.read_op.is_none() {
+            timeout = (timeout * 2).min(IDLE_MAX);
         }
     }
 }

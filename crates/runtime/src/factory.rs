@@ -26,6 +26,35 @@ pub trait RegisterFactory: Send + Sync {
     ) -> (WritePort<T>, ReadPort<T>);
 }
 
+/// A shared reference to a factory is itself a factory, so long-lived
+/// objects (e.g. a keyed register store instantiating one register per key)
+/// can reuse one backend without owning it.
+impl<F: RegisterFactory> RegisterFactory for &F {
+    fn create<T: Value>(
+        &self,
+        env: &Env,
+        owner: ProcessId,
+        name: String,
+        init: T,
+    ) -> (WritePort<T>, ReadPort<T>) {
+        (**self).create(env, owner, name, init)
+    }
+}
+
+/// `Arc`-shared factories, for components that must own their backend
+/// handle (worker pools, stores that outlive the installing scope).
+impl<F: RegisterFactory> RegisterFactory for std::sync::Arc<F> {
+    fn create<T: Value>(
+        &self,
+        env: &Env,
+        owner: ProcessId,
+        name: String,
+        init: T,
+    ) -> (WritePort<T>, ReadPort<T>) {
+        (**self).create(env, owner, name, init)
+    }
+}
+
 /// The default factory: in-process lock-backed atomic cells.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LocalFactory;
@@ -55,5 +84,22 @@ mod tests {
         w.write(6);
         assert_eq!(r.read(), 6);
         assert_eq!(w.owner(), ProcessId::new(2));
+    }
+
+    fn create_through<F: RegisterFactory>(factory: F, sys: &System) -> u8 {
+        let (_w, r) = factory.create(sys.env(), ProcessId::new(1), "Y".into(), 9u8);
+        r.read()
+    }
+
+    #[test]
+    fn references_and_arcs_are_factories_too() {
+        let sys = System::builder(4).build();
+        // Explicitly typed so the blanket `&F` / `Arc<F>` impls (not
+        // `LocalFactory` itself) are what `create_through` instantiates.
+        let by_ref: &LocalFactory = &LocalFactory;
+        let by_ref_ref: &&LocalFactory = &by_ref;
+        assert_eq!(create_through(by_ref, &sys), 9);
+        assert_eq!(create_through(by_ref_ref, &sys), 9);
+        assert_eq!(create_through(std::sync::Arc::new(LocalFactory), &sys), 9);
     }
 }

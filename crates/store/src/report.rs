@@ -1,0 +1,168 @@
+//! Workload measurement aggregation and its machine-readable rendering.
+//!
+//! The driver records one latency sample per operation item — a batched
+//! item completes when its batch does, so it records the batch's full
+//! latency (amortization shows up in throughput, not latency) — and
+//! summarizes them as [`OpStats`]. A [`WorkloadReport`] bundles the per-kind stats
+//! with the run's configuration fingerprint and renders as a JSON object —
+//! the row format of the committed `BENCH_store.json` baseline.
+
+/// Latency summary of one operation kind.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OpStats {
+    /// Number of items measured.
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl OpStats {
+    /// Summarizes raw per-item samples (nanoseconds). An empty sample set
+    /// yields all-zero stats.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return OpStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|s| u128::from(*s)).sum();
+        OpStats {
+            count,
+            mean_ns: sum as f64 / count as f64,
+            p50_ns: percentile(&samples, 50),
+            p99_ns: percentile(&samples, 99),
+        }
+    }
+
+    /// Renders as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}}",
+            self.count, self.mean_ns, self.p50_ns, self.p99_ns
+        )
+    }
+}
+
+/// The `q`-th percentile of an ascending-sorted sample set: nearest-rank,
+/// `sorted[⌈q·N/100⌉ − 1]`, so `q = 99` over few samples reports the
+/// actual tail (the maximum) instead of the second-largest.
+fn percentile(sorted: &[u64], q: u64) -> u64 {
+    let rank = (sorted.len() as u64 * q).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+/// The outcome of one workload run: configuration fingerprint, throughput,
+/// and per-kind latency stats.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Register family label (`verifiable` / `authenticated` / `sticky`).
+    pub family: String,
+    /// Backend label (`shm` / `mp`).
+    pub backend: String,
+    /// Key-space size.
+    pub keys: u64,
+    /// Shard count.
+    pub shards: usize,
+    /// Total operation items performed.
+    pub ops: u64,
+    /// Batch size used by the batched read/verify paths (≤ 1 = per-key).
+    pub batch: usize,
+    /// Writer thread count.
+    pub writers: usize,
+    /// Reader thread count.
+    pub readers: usize,
+    /// System size `n`.
+    pub n: usize,
+    /// Declared-Byzantine process count.
+    pub byzantine: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Keys actually touched (and therefore instantiated).
+    pub distinct_keys: usize,
+    /// Wall-clock duration of the run, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Items per second over the whole run.
+    pub ops_per_sec: f64,
+    /// Write latencies.
+    pub write: OpStats,
+    /// Read latencies.
+    pub read: OpStats,
+    /// Verify latencies.
+    pub verify: OpStats,
+}
+
+impl WorkloadReport {
+    /// Renders as a JSON object (one row of `BENCH_store.json`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"family\":\"{}\",\"backend\":\"{}\",\"keys\":{},\"shards\":{},\"ops\":{},\
+             \"batch\":{},\"writers\":{},\"readers\":{},\"n\":{},\"byzantine\":{},\"seed\":{},\
+             \"distinct_keys\":{},\"elapsed_ns\":{},\"ops_per_sec\":{:.1},\
+             \"write\":{},\"read\":{},\"verify\":{}}}",
+            self.family,
+            self.backend,
+            self.keys,
+            self.shards,
+            self.ops,
+            self.batch,
+            self.writers,
+            self.readers,
+            self.n,
+            self.byzantine,
+            self.seed,
+            self.distinct_keys,
+            self.elapsed_ns,
+            self.ops_per_sec,
+            self.write.to_json(),
+            self.read.to_json(),
+            self.verify.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_empty_samples_are_zero() {
+        assert_eq!(OpStats::from_samples(Vec::new()), OpStats::default());
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let stats = OpStats::from_samples(samples);
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.p50_ns, 50);
+        assert_eq!(stats.p99_ns, 99);
+        assert!((stats.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_over_few_samples_is_the_tail() {
+        // Nearest-rank: ⌈0.99·10⌉ = 10th element — the max, not the
+        // second-largest.
+        let stats = OpStats::from_samples((1..=10).collect());
+        assert_eq!(stats.p99_ns, 10);
+        assert_eq!(stats.p50_ns, 5);
+        let one = OpStats::from_samples(vec![7]);
+        assert_eq!((one.p50_ns, one.p99_ns), (7, 7));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed_enough() {
+        let stats = OpStats::from_samples(vec![10, 20, 30]);
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"p50_ns\":20"));
+    }
+}

@@ -1,0 +1,384 @@
+//! The sharded multi-register store.
+//!
+//! A [`ByzStore`] maps keys to independent [`SignatureRegister`] instances
+//! of one family, instantiated lazily on first touch. Routing is
+//! shard-level: a key's shard is a stable hash of the key, and all store
+//! metadata (the key → register map) is locked per shard, so operations on
+//! keys in different shards never contend on the store itself — only the
+//! hosting [`System`]'s help engines are shared.
+//!
+//! The batched paths are where the store earns its keep under load:
+//! [`ByzStore::verify_many`] groups a batch of `(key, value)` checks by
+//! key, dedupes identical checks, and hands each key's distinct values to
+//! the family's batched verifier — **one** §5.1 round sequence per key
+//! instead of one per check. [`ByzStore::read_many`] likewise answers
+//! duplicate keys from a single quorum read. Under skewed (Zipf-like)
+//! traffic, where a few hot keys dominate every batch, this amortization
+//! is the difference between per-check and per-key cost.
+
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use byzreg_core::api::{SignatureRegister, SignatureSigner, SignatureVerifier};
+use byzreg_runtime::{ProcessId, RegisterFactory, Result, System, Value};
+
+/// Store-level tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Number of shards the key space is routed over. More shards means
+    /// less metadata contention between unrelated keys.
+    pub shards: usize,
+}
+
+impl Default for StoreConfig {
+    /// Eight shards — enough to keep a handful of worker threads off each
+    /// other's locks without bloating per-store state.
+    fn default() -> Self {
+        StoreConfig { shards: 8 }
+    }
+}
+
+/// One key's slot: the register instance plus its operation handles.
+///
+/// The signer is taken at install time (each register has a unique
+/// writer); verifier handles are taken once per reader pid and shared
+/// behind a mutex, since handles apply their process's operations
+/// sequentially.
+struct Entry<V: Value, R: SignatureRegister<V>> {
+    register: R,
+    signer: Mutex<R::Signer>,
+    verifiers: Mutex<HashMap<ProcessId, Arc<Mutex<R::Verifier>>>>,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<V: Value, R: SignatureRegister<V>> Entry<V, R> {
+    fn verifier(&self, pid: ProcessId) -> Arc<Mutex<R::Verifier>> {
+        let mut map = self.verifiers.lock();
+        Arc::clone(
+            map.entry(pid).or_insert_with(|| Arc::new(Mutex::new(self.register.verifier(pid)))),
+        )
+    }
+}
+
+struct Shard<K: Value, V: Value, R: SignatureRegister<V>> {
+    entries: Mutex<HashMap<K, Arc<Entry<V, R>>>>,
+}
+
+/// A sharded map from keys to lazily-instantiated signature registers.
+///
+/// Generic over the key type `K`, the stored value type `V`, the register
+/// family `R`, and the base-register backend `F` — pass `LocalFactory`
+/// for in-process shared memory or (a reference to) `byzreg_mp::MpFactory`
+/// to run every key's register over the message-passing emulation.
+///
+/// Any operation on a key instantiates its register on first touch; a
+/// read of a never-written key therefore returns the family's initial
+/// value (`v0` for verifiable/authenticated, `None` for sticky).
+pub struct ByzStore<'s, K: Value, V: Value, R: SignatureRegister<V>, F: RegisterFactory> {
+    system: &'s System,
+    factory: F,
+    v0: V,
+    shards: Vec<Shard<K, V, R>>,
+}
+
+impl<'s, K: Value, V: Value, R: SignatureRegister<V>, F: RegisterFactory> ByzStore<'s, K, V, R, F> {
+    /// Creates an empty store over `system`, sourcing every register's base
+    /// registers from the shared `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    #[must_use]
+    pub fn new(system: &'s System, factory: F, v0: V, config: StoreConfig) -> Self {
+        assert!(config.shards >= 1, "a store needs at least one shard");
+        let shards =
+            (0..config.shards).map(|_| Shard { entries: Mutex::new(HashMap::new()) }).collect();
+        ByzStore { system, factory, v0, shards }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` routes to (stable across the process lifetime).
+    #[must_use]
+    pub fn shard_of(&self, key: &K) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Number of keys whose registers have been instantiated.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
+    }
+
+    /// `true` if no key has been touched yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Instantiated keys per shard (routing-balance diagnostics).
+    #[must_use]
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.entries.lock().len()).collect()
+    }
+
+    /// The entry for `key`, installing its register on first touch. Only
+    /// `key`'s shard is locked; installation happens under that lock so a
+    /// key can never get two competing register instances.
+    fn entry(&self, key: &K) -> Arc<Entry<V, R>> {
+        let shard = &self.shards[self.shard_of(key)];
+        let mut entries = shard.entries.lock();
+        if let Some(e) = entries.get(key) {
+            return Arc::clone(e);
+        }
+        let register = R::install_with_factory(self.system, self.v0.clone(), &self.factory);
+        let signer = Mutex::new(register.signer());
+        let e = Arc::new(Entry {
+            register,
+            signer,
+            verifiers: Mutex::new(HashMap::new()),
+            _values: PhantomData,
+        });
+        entries.insert(key.clone(), Arc::clone(&e));
+        e
+    }
+
+    /// Writes `v` under `key` and signs it (one atomic writer-side step
+    /// pair; families with implicitly-signed writes make the sign a no-op).
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    pub fn write(&self, key: K, v: V) -> Result<()> {
+        let entry = self.entry(&key);
+        let mut signer = entry.signer.lock();
+        signer.write_value(v.clone())?;
+        let signed = signer.sign_value(&v)?;
+        debug_assert!(signed, "signing a just-written value always succeeds");
+        Ok(())
+    }
+
+    /// Reads `key`'s register as reader `pid`. `None` is the sticky `⊥`.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is the writer or declared Byzantine.
+    pub fn read(&self, pid: ProcessId, key: &K) -> Result<Option<V>> {
+        self.entry(key).verifier(pid).lock().read_value()
+    }
+
+    /// Checks `v`'s signature property under `key` as reader `pid`.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is the writer or declared Byzantine.
+    pub fn verify(&self, pid: ProcessId, key: &K, v: &V) -> Result<bool> {
+        self.entry(key).verifier(pid).lock().verify_value(v)
+    }
+
+    /// Reads a batch of keys, answering duplicate keys from one quorum
+    /// read. Results are in input order; semantically equivalent to
+    /// calling [`read`](ByzStore::read) once per key.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is the writer or declared Byzantine.
+    pub fn read_many(&self, pid: ProcessId, keys: &[K]) -> Result<Vec<Option<V>>> {
+        let mut cache: HashMap<&K, Option<V>> = HashMap::with_capacity(keys.len());
+        for key in keys {
+            if !cache.contains_key(key) {
+                let got = self.read(pid, key)?;
+                cache.insert(key, got);
+            }
+        }
+        Ok(keys.iter().map(|k| cache[k].clone()).collect())
+    }
+
+    /// Verifies a batch of `(key, value)` checks, amortizing the quorum
+    /// machinery across the batch: checks are grouped by key, identical
+    /// checks are deduped, and each key's distinct values go through the
+    /// family's batched verifier in **one** round sequence. Results are in
+    /// input order; semantically equivalent to calling
+    /// [`verify`](ByzStore::verify) once per check.
+    ///
+    /// # Errors
+    ///
+    /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is the writer or declared Byzantine.
+    pub fn verify_many(&self, pid: ProcessId, checks: &[(K, V)]) -> Result<Vec<bool>> {
+        let mut results = vec![false; checks.len()];
+        let mut by_key: HashMap<&K, Vec<usize>> = HashMap::new();
+        for (i, (key, _)) in checks.iter().enumerate() {
+            by_key.entry(key).or_default().push(i);
+        }
+        for (key, idxs) in by_key {
+            let entry = self.entry(key);
+            let verifier = entry.verifier(pid);
+            let mut guard = verifier.lock();
+            // Dedupe identical values for this key: verify once, fan the
+            // answer back out to every duplicate check.
+            let mut slot_of_value: HashMap<&V, usize> = HashMap::new();
+            let mut distinct: Vec<V> = Vec::new();
+            let mut slots = Vec::with_capacity(idxs.len());
+            for &i in &idxs {
+                let v = &checks[i].1;
+                let slot = *slot_of_value.entry(v).or_insert_with(|| {
+                    distinct.push(v.clone());
+                    distinct.len() - 1
+                });
+                slots.push(slot);
+            }
+            let outcomes = guard.verify_many(&distinct)?;
+            for (&i, &slot) in idxs.iter().zip(&slots) {
+                results[i] = outcomes[slot];
+            }
+        }
+        Ok(results)
+    }
+}
+
+impl<K: Value, V: Value, R: SignatureRegister<V>, F: RegisterFactory> std::fmt::Debug
+    for ByzStore<'_, K, V, R, F>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByzStore")
+            .field("family", &R::FAMILY)
+            .field("shards", &self.shard_count())
+            .field("keys", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
+    use byzreg_runtime::LocalFactory;
+
+    fn roundtrip<R: SignatureRegister<u64>>() {
+        let system = System::builder(4).build();
+        let store: ByzStore<'_, u64, u64, R, _> =
+            ByzStore::new(&system, LocalFactory, 0, StoreConfig::default());
+        assert!(store.is_empty());
+        store.write(1, 100).unwrap();
+        store.write(2, 200).unwrap();
+        assert_eq!(store.len(), 2, "{}: lazily instantiated on write", R::FAMILY);
+        let p2 = ProcessId::new(2);
+        assert_eq!(store.read(p2, &1).unwrap(), Some(100), "{}", R::FAMILY);
+        assert!(store.verify(p2, &1, &100).unwrap(), "{}", R::FAMILY);
+        assert!(!store.verify(p2, &1, &200).unwrap(), "{}: 200 lives under key 2", R::FAMILY);
+        system.shutdown();
+    }
+
+    #[test]
+    fn write_read_verify_roundtrip_all_families() {
+        roundtrip::<VerifiableRegister<u64>>();
+        roundtrip::<AuthenticatedRegister<u64>>();
+        roundtrip::<StickyRegister<u64>>();
+    }
+
+    #[test]
+    fn sticky_store_keys_are_first_write_wins() {
+        let system = System::builder(4).build();
+        let store: ByzStore<'_, u64, u64, StickyRegister<u64>, _> =
+            ByzStore::new(&system, LocalFactory, 0, StoreConfig::default());
+        store.write(5, 50).unwrap();
+        store.write(5, 99).unwrap(); // no-op: key 5 is stuck on 50
+        let p3 = ProcessId::new(3);
+        assert_eq!(store.read(p3, &5).unwrap(), Some(50));
+        assert!(store.verify(p3, &5, &50).unwrap());
+        assert!(!store.verify(p3, &5, &99).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn verify_many_matches_per_check_loop_and_dedupes() {
+        let system = System::builder(4).build();
+        let store: ByzStore<'_, u64, u64, VerifiableRegister<u64>, _> =
+            ByzStore::new(&system, LocalFactory, 0, StoreConfig::default());
+        store.write(1, 10).unwrap();
+        store.write(2, 20).unwrap();
+        let p2 = ProcessId::new(2);
+        // Hot key 1 appears four times (twice with an identical check).
+        let checks = vec![(1u64, 10u64), (2, 20), (1, 11), (1, 10), (3, 30), (1, 12), (2, 21)];
+        let batched = store.verify_many(p2, &checks).unwrap();
+        let looped: Vec<bool> =
+            checks.iter().map(|(k, v)| store.verify(p2, k, v).unwrap()).collect();
+        assert_eq!(batched, looped);
+        assert_eq!(batched, vec![true, true, false, true, false, false, false]);
+        system.shutdown();
+    }
+
+    #[test]
+    fn read_many_answers_duplicates_from_one_read() {
+        let system = System::builder(4).build();
+        let store: ByzStore<'_, u64, u64, AuthenticatedRegister<u64>, _> =
+            ByzStore::new(&system, LocalFactory, 0, StoreConfig::default());
+        store.write(7, 70).unwrap();
+        let p2 = ProcessId::new(2);
+        let got = store.read_many(p2, &[7, 8, 7, 7, 8]).unwrap();
+        assert_eq!(got, vec![Some(70), Some(0), Some(70), Some(70), Some(0)]);
+        system.shutdown();
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_spreads_keys() {
+        let system = System::builder(4).build();
+        let store: ByzStore<'_, u64, u64, VerifiableRegister<u64>, _> =
+            ByzStore::new(&system, LocalFactory, 0, StoreConfig { shards: 8 });
+        assert_eq!(store.shard_count(), 8);
+        for key in 0u64..64 {
+            assert_eq!(store.shard_of(&key), store.shard_of(&key), "stable routing");
+            store.write(key, key).unwrap();
+        }
+        let loads = store.shard_loads();
+        assert_eq!(loads.iter().sum::<usize>(), 64);
+        let used = loads.iter().filter(|l| **l > 0).count();
+        assert!(used >= 4, "64 keys should spread over most of 8 shards, got {loads:?}");
+        system.shutdown();
+    }
+
+    #[test]
+    fn reads_instantiate_with_the_initial_value() {
+        let system = System::builder(4).build();
+        let store: ByzStore<'_, u64, u64, VerifiableRegister<u64>, _> =
+            ByzStore::new(&system, LocalFactory, 42, StoreConfig::default());
+        let p2 = ProcessId::new(2);
+        assert_eq!(store.read(p2, &999).unwrap(), Some(42), "v0 of a never-written key");
+        assert_eq!(store.len(), 1, "the read instantiated the key");
+        system.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let system = System::builder(4).build();
+        let _: ByzStore<'_, u64, u64, VerifiableRegister<u64>, _> =
+            ByzStore::new(&system, LocalFactory, 0, StoreConfig { shards: 0 });
+    }
+}

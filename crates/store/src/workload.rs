@@ -1,0 +1,501 @@
+//! The seeded store workload driver.
+//!
+//! One run drives a [`ByzStore`] with a reproducible mixed workload:
+//!
+//! * **mix** — a read/write/verify percentage split over `ops` items;
+//! * **skew** — Zipf-like key sampling (`u^(1+skew)` over the key space),
+//!   so a nonzero skew concentrates traffic on a hot set of low keys, the
+//!   regime where the batched store paths shine;
+//! * **concurrency** — `writers` writer threads (each owning a disjoint
+//!   key partition, preserving single-writer-per-register) and `readers`
+//!   reader threads (round-robined over the correct non-writer pids);
+//! * **faults** — the top `byzantine` pids are declared Byzantine: they
+//!   run no help tasks, so every quorum decision must succeed with `f`
+//!   processes missing.
+//!
+//! Everything is derived from `seed`: the set of keys touched — and hence
+//! the number of registers instantiated — is identical across runs with
+//! the same configuration.
+
+use std::time::Instant;
+
+use byzreg_core::api::SignatureRegister;
+use byzreg_runtime::{ProcessId, RegisterFactory, Result, System};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::{OpStats, WorkloadReport};
+use crate::store::{ByzStore, StoreConfig};
+
+/// Parameters of one workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Key-space size (keys are `0..keys`).
+    pub keys: u64,
+    /// Store shard count.
+    pub shards: usize,
+    /// Total operation items across all worker threads.
+    pub ops: u64,
+    /// Percentage of items that are reads.
+    pub read_pct: u8,
+    /// Percentage of items that are writes; the remainder are verifies.
+    pub write_pct: u8,
+    /// Batch size for the batched read/verify paths; `<= 1` uses the
+    /// per-key loop instead.
+    pub batch: usize,
+    /// Zipf-like skew exponent: `0.0` is uniform, larger values
+    /// concentrate traffic on low keys.
+    pub skew: f64,
+    /// Writer thread count (each owns the keys `k` with
+    /// `k % writers == index`).
+    pub writers: usize,
+    /// Reader thread count.
+    pub readers: usize,
+    /// System size `n`.
+    pub n: usize,
+    /// Number of top pids declared Byzantine (must stay `<= ⌊(n−1)/3⌋` so
+    /// quorums remain live).
+    pub byzantine: usize,
+    /// Master seed; all per-thread streams derive from it.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The smoke-test shape of the acceptance workload: 1024 keys over 8
+    /// shards, a mixed 40/30/30 read/write/verify split, Zipf-like skew,
+    /// two writer and two reader threads, and one Byzantine process out of
+    /// five.
+    #[must_use]
+    pub fn smoke() -> Self {
+        WorkloadConfig {
+            keys: 1024,
+            shards: 8,
+            ops: 384,
+            read_pct: 40,
+            write_pct: 30,
+            batch: 16,
+            skew: 0.8,
+            writers: 2,
+            readers: 2,
+            n: 5,
+            byzantine: 1,
+            seed: 7,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on any inconsistent setting.
+    pub fn validate(&self) {
+        assert!(self.keys >= 1, "empty key space");
+        assert!(self.shards >= 1, "a store needs at least one shard");
+        assert!(
+            usize::from(self.read_pct) + usize::from(self.write_pct) <= 100,
+            "read_pct + write_pct must not exceed 100"
+        );
+        assert!(self.writers >= 1 && self.readers >= 1, "need at least one thread of each kind");
+        assert!(self.keys >= self.writers as u64, "more writer threads than keys");
+        assert!(self.n >= 2, "a register system needs a writer and a reader");
+        assert!(
+            self.byzantine <= (self.n - 1) / 3,
+            "byzantine = {} exceeds f = ⌊(n−1)/3⌋ = {}; quorums would not be live",
+            self.byzantine,
+            (self.n - 1) / 3
+        );
+        assert!(
+            self.n - self.byzantine >= 2,
+            "need at least one correct reader pid besides the writer"
+        );
+    }
+}
+
+/// Builds the hosting system for `cfg`: `n` processes with the top
+/// `byzantine` pids declared faulty (the writer `p1` stays correct).
+///
+/// # Panics
+///
+/// Panics if `cfg` is inconsistent (see [`WorkloadConfig::validate`]).
+#[must_use]
+pub fn build_system(cfg: &WorkloadConfig) -> System {
+    cfg.validate();
+    let mut builder = System::builder(cfg.n);
+    for i in 0..cfg.byzantine {
+        builder = builder.byzantine(ProcessId::new(cfg.n - i));
+    }
+    builder.build()
+}
+
+/// The value the workload writes under `key` (deterministic per key, so
+/// sticky registers see consistent first writes and verifies know what to
+/// expect).
+#[must_use]
+pub fn value_of(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// A value never written under any key (the negative-verify probe).
+#[must_use]
+pub fn bogus_value_of(key: u64) -> u64 {
+    value_of(key) ^ 0xDEAD_0000
+}
+
+/// Samples a key with Zipf-like skew.
+///
+/// `skew` plays the role of the Zipf exponent `s` in `p(k) ∝ 1/k^s`: the
+/// sampler inverts the continuous CDF approximation `F(k) ∝ k^(1−s)`,
+/// i.e. draws `⌊keys · u^(1/(1−s))⌋`. `skew <= 0` is uniform; values are
+/// clamped just below `1` (where the approximation degenerates). At
+/// `skew = 0.8`, roughly three quarters of the traffic lands on the
+/// lowest quarter of the key space.
+///
+/// # Panics
+///
+/// Panics if `keys == 0`.
+#[must_use]
+pub fn sample_key(rng: &mut StdRng, keys: u64, skew: f64) -> u64 {
+    assert!(keys >= 1, "cannot sample from an empty key space");
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let frac = if skew <= 0.0 { u } else { u.powf(1.0 / (1.0 - skew.min(0.99))) };
+    ((frac * keys as f64) as u64).min(keys - 1)
+}
+
+/// Builds a skewed batch of verify checks — the traffic shape the batched
+/// store paths are optimized for: keys Zipf-sampled (hot keys repeat
+/// within the batch), values split between each key's genuine value and a
+/// never-written probe. Shared by the store bench and the `BENCH_store`
+/// baseline driver.
+pub fn build_check_batch(rng: &mut StdRng, keys: u64, skew: f64, len: usize) -> Vec<(u64, u64)> {
+    (0..len)
+        .map(|_| {
+            let key = sample_key(rng, keys, skew);
+            let v = if rng.random_bool(0.5) { value_of(key) } else { bogus_value_of(key) };
+            (key, v)
+        })
+        .collect()
+}
+
+/// Remaps `raw` into writer `w`'s partition (`key % writers == w`),
+/// preserving the skew shape.
+fn partition_key(raw: u64, keys: u64, writers: u64, w: u64) -> u64 {
+    let base = raw - (raw % writers) + w;
+    if base >= keys {
+        w
+    } else {
+        base
+    }
+}
+
+/// `part`'s share when `total` items are split over `parts` workers.
+fn share(part: usize, total: u64, parts: usize) -> u64 {
+    total / parts as u64 + u64::from((part as u64) < total % parts as u64)
+}
+
+#[derive(Default)]
+struct ThreadSamples {
+    write: Vec<u64>,
+    read: Vec<u64>,
+    verify: Vec<u64>,
+}
+
+/// Every item in a batch completes when the batch does, so each item
+/// records the batch's **full** latency — batching buys throughput, not
+/// per-item latency, and the percentiles must say so (a slow batch is a
+/// genuine tail event across its items).
+fn record_batch(samples: &mut Vec<u64>, elapsed_ns: u64, items: usize) {
+    samples.extend(std::iter::repeat(elapsed_ns.max(1)).take(items));
+}
+
+/// Runs the workload against a store of family `R` over backend `factory`
+/// on `system` (built compatibly with `cfg`, e.g. by [`build_system`]).
+/// `backend` is the label recorded in the report (`"shm"` / `"mp"`).
+///
+/// # Errors
+///
+/// [`byzreg_runtime::Error::Shutdown`] if the system shuts down mid-run.
+///
+/// # Panics
+///
+/// Panics if `cfg` is inconsistent or `system` declares a Byzantine
+/// writer.
+pub fn run_workload<R, F>(
+    system: &System,
+    factory: F,
+    backend: &str,
+    cfg: &WorkloadConfig,
+) -> Result<WorkloadReport>
+where
+    R: SignatureRegister<u64>,
+    F: RegisterFactory,
+{
+    cfg.validate();
+    let reader_pids: Vec<ProcessId> =
+        system.env().correct().into_iter().filter(|p| !p.is_writer()).collect();
+    assert!(!reader_pids.is_empty(), "no correct reader pids");
+
+    let store: ByzStore<'_, u64, u64, R, F> =
+        ByzStore::new(system, factory, 0, StoreConfig { shards: cfg.shards });
+
+    let writes = cfg.ops * u64::from(cfg.write_pct) / 100;
+    let reads = cfg.ops * u64::from(cfg.read_pct) / 100;
+    let verifies = cfg.ops - writes - reads;
+
+    let start = Instant::now();
+    let results: Vec<Result<ThreadSamples>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..cfg.writers {
+            let store = &store;
+            let quota = share(w, writes, cfg.writers);
+            handles.push(scope.spawn(move || writer_thread(store, cfg, w, quota)));
+        }
+        for r in 0..cfg.readers {
+            let store = &store;
+            let pid = reader_pids[r % reader_pids.len()];
+            let quotas = (share(r, reads, cfg.readers), share(r, verifies, cfg.readers));
+            handles.push(scope.spawn(move || reader_thread(store, cfg, r, pid, quotas)));
+        }
+        handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut merged = ThreadSamples::default();
+    for result in results {
+        let samples = result?;
+        merged.write.extend(samples.write);
+        merged.read.extend(samples.read);
+        merged.verify.extend(samples.verify);
+    }
+
+    let total_items = writes + reads + verifies;
+    let elapsed_ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+    Ok(WorkloadReport {
+        family: R::FAMILY.label().to_string(),
+        backend: backend.to_string(),
+        keys: cfg.keys,
+        shards: cfg.shards,
+        ops: total_items,
+        batch: cfg.batch,
+        writers: cfg.writers,
+        readers: cfg.readers,
+        n: cfg.n,
+        byzantine: cfg.byzantine,
+        seed: cfg.seed,
+        distinct_keys: store.len(),
+        elapsed_ns,
+        ops_per_sec: total_items as f64 / (elapsed_ns as f64 / 1e9),
+        write: OpStats::from_samples(merged.write),
+        read: OpStats::from_samples(merged.read),
+        verify: OpStats::from_samples(merged.verify),
+    })
+}
+
+fn writer_thread<R: SignatureRegister<u64>, F: RegisterFactory>(
+    store: &ByzStore<'_, u64, u64, R, F>,
+    cfg: &WorkloadConfig,
+    w: usize,
+    quota: u64,
+) -> Result<ThreadSamples> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x5752_0000 + w as u64));
+    let mut samples = ThreadSamples::default();
+    for _ in 0..quota {
+        let raw = sample_key(&mut rng, cfg.keys, cfg.skew);
+        let key = partition_key(raw, cfg.keys, cfg.writers as u64, w as u64);
+        let t0 = Instant::now();
+        store.write(key, value_of(key))?;
+        samples.write.push(t0.elapsed().as_nanos() as u64);
+    }
+    Ok(samples)
+}
+
+fn reader_thread<R: SignatureRegister<u64>, F: RegisterFactory>(
+    store: &ByzStore<'_, u64, u64, R, F>,
+    cfg: &WorkloadConfig,
+    r: usize,
+    pid: ProcessId,
+    (reads, verifies): (u64, u64),
+) -> Result<ThreadSamples> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x5244_0000 + r as u64));
+    let mut samples = ThreadSamples::default();
+    let batching = cfg.batch > 1;
+    let mut pending_reads: Vec<u64> = Vec::new();
+    let mut pending_checks: Vec<(u64, u64)> = Vec::new();
+    let (mut reads_left, mut verifies_left) = (reads, verifies);
+    while reads_left + verifies_left > 0 {
+        let is_read = rng.random_range(0..reads_left + verifies_left) < reads_left;
+        let key = sample_key(&mut rng, cfg.keys, cfg.skew);
+        if is_read {
+            reads_left -= 1;
+            if batching {
+                pending_reads.push(key);
+                if pending_reads.len() >= cfg.batch {
+                    flush_reads(store, pid, &mut pending_reads, &mut samples.read)?;
+                }
+            } else {
+                let t0 = Instant::now();
+                store.read(pid, &key)?;
+                samples.read.push(t0.elapsed().as_nanos() as u64);
+            }
+        } else {
+            verifies_left -= 1;
+            // Half the probes check the key's genuine value (true once the
+            // key was written), half a value nobody ever wrote (false).
+            let v = if rng.random_bool(0.5) { value_of(key) } else { bogus_value_of(key) };
+            if batching {
+                pending_checks.push((key, v));
+                if pending_checks.len() >= cfg.batch {
+                    flush_checks(store, pid, &mut pending_checks, &mut samples.verify)?;
+                }
+            } else {
+                let t0 = Instant::now();
+                store.verify(pid, &key, &v)?;
+                samples.verify.push(t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    flush_reads(store, pid, &mut pending_reads, &mut samples.read)?;
+    flush_checks(store, pid, &mut pending_checks, &mut samples.verify)?;
+    Ok(samples)
+}
+
+fn flush_reads<R: SignatureRegister<u64>, F: RegisterFactory>(
+    store: &ByzStore<'_, u64, u64, R, F>,
+    pid: ProcessId,
+    pending: &mut Vec<u64>,
+    samples: &mut Vec<u64>,
+) -> Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let t0 = Instant::now();
+    store.read_many(pid, pending)?;
+    record_batch(samples, t0.elapsed().as_nanos() as u64, pending.len());
+    pending.clear();
+    Ok(())
+}
+
+fn flush_checks<R: SignatureRegister<u64>, F: RegisterFactory>(
+    store: &ByzStore<'_, u64, u64, R, F>,
+    pid: ProcessId,
+    pending: &mut Vec<(u64, u64)>,
+    samples: &mut Vec<u64>,
+) -> Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let t0 = Instant::now();
+    store.verify_many(pid, pending)?;
+    record_batch(samples, t0.elapsed().as_nanos() as u64, pending.len());
+    pending.clear();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzreg_core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
+    use byzreg_runtime::LocalFactory;
+
+    fn tiny() -> WorkloadConfig {
+        WorkloadConfig {
+            keys: 64,
+            shards: 4,
+            ops: 60,
+            read_pct: 40,
+            write_pct: 30,
+            batch: 4,
+            skew: 0.6,
+            writers: 2,
+            readers: 2,
+            n: 4,
+            byzantine: 1,
+            seed: 11,
+        }
+    }
+
+    fn drive<R: SignatureRegister<u64>>(cfg: &WorkloadConfig) -> WorkloadReport {
+        let system = build_system(cfg);
+        let report = run_workload::<R, _>(&system, LocalFactory, "shm", cfg).unwrap();
+        system.shutdown();
+        report
+    }
+
+    #[test]
+    fn tiny_workload_runs_for_all_families() {
+        let cfg = tiny();
+        for report in [
+            drive::<VerifiableRegister<u64>>(&cfg),
+            drive::<AuthenticatedRegister<u64>>(&cfg),
+            drive::<StickyRegister<u64>>(&cfg),
+        ] {
+            assert_eq!(report.ops, 60, "{}", report.family);
+            assert_eq!(
+                report.write.count + report.read.count + report.verify.count,
+                60,
+                "{}: every item must be sampled",
+                report.family
+            );
+            assert!(report.distinct_keys > 0 && report.distinct_keys <= 64);
+            assert!(report.ops_per_sec > 0.0);
+            let json = report.to_json();
+            assert!(json.contains("\"backend\":\"shm\"") && json.contains("\"ops\":60"));
+        }
+    }
+
+    #[test]
+    fn same_seed_touches_the_same_keys() {
+        let cfg = tiny();
+        let a = drive::<VerifiableRegister<u64>>(&cfg);
+        let b = drive::<VerifiableRegister<u64>>(&cfg);
+        assert_eq!(a.distinct_keys, b.distinct_keys, "key sampling must be seed-deterministic");
+    }
+
+    #[test]
+    fn unbatched_mode_exercises_the_per_key_loop() {
+        let mut cfg = tiny();
+        cfg.batch = 1;
+        cfg.ops = 30;
+        let report = drive::<AuthenticatedRegister<u64>>(&cfg);
+        assert_eq!(report.ops, 30);
+        assert_eq!(report.batch, 1);
+    }
+
+    #[test]
+    fn partition_keys_stay_in_range_and_partition() {
+        for raw in 0..64u64 {
+            for w in 0..3u64 {
+                let key = partition_key(raw, 64, 3, w);
+                assert!(key < 64);
+                assert_eq!(key % 3, w);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_sampling_prefers_low_keys() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut low = 0u32;
+        for _ in 0..1000 {
+            if sample_key(&mut rng, 1024, 0.8) < 256 {
+                low += 1;
+            }
+        }
+        assert!(low > 700, "skew 0.8 should put >70% of traffic on the low quarter, got {low}");
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut low = 0u32;
+        for _ in 0..1000 {
+            if sample_key(&mut rng, 1024, 0.0) < 256 {
+                low += 1;
+            }
+        }
+        assert!((150..350).contains(&low), "skew 0 must stay uniform, got {low}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quorums would not be live")]
+    fn too_many_byzantine_processes_are_rejected() {
+        let mut cfg = tiny();
+        cfg.byzantine = 2;
+        cfg.validate();
+    }
+}

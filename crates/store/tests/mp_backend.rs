@@ -1,0 +1,34 @@
+//! The store over the E6 message-passing backend: every key's register is
+//! built from `MpRegister` emulations sourced from **one** shared
+//! `MpFactory` (factory reuse is what makes a thousand-key store hold one
+//! backend handle instead of one per key).
+
+use byzreg_core::VerifiableRegister;
+use byzreg_mp::MpFactory;
+use byzreg_runtime::{ProcessId, System};
+use byzreg_store::store::{ByzStore, StoreConfig};
+
+#[test]
+fn store_over_message_passing_reuses_one_factory() {
+    let system = System::builder(4).build();
+    let factory = MpFactory::default();
+    let store: ByzStore<'_, u64, u64, VerifiableRegister<u64>, _> =
+        ByzStore::new(&system, &factory, 0, StoreConfig { shards: 2 });
+
+    store.write(1, 10).unwrap();
+    let after_one = factory.spawned();
+    assert!(after_one > 0, "key 1 spawned its emulated base registers");
+
+    store.write(2, 20).unwrap();
+    assert_eq!(
+        factory.spawned(),
+        2 * after_one,
+        "each key spawns the same fabric from the same shared factory"
+    );
+
+    let p2 = ProcessId::new(2);
+    assert_eq!(store.read(p2, &1).unwrap(), Some(10));
+    let got = store.verify_many(p2, &[(1, 10), (2, 20), (1, 20), (2, 20)]).unwrap();
+    assert_eq!(got, vec![true, true, false, true]);
+    system.shutdown();
+}

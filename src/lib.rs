@@ -24,7 +24,9 @@
 //! * [`mp`] — a message-passing SWMR emulation (`n > 3f`, signature-free)
 //!   over which the core algorithms run unchanged;
 //! * [`apps`] — signature-free applications: non-equivocating broadcast,
-//!   reliable broadcast, atomic snapshot, asset transfer.
+//!   reliable broadcast, atomic snapshot, asset transfer;
+//! * [`store`] — a sharded keyed store of register instances (any family,
+//!   any backend) with batched verification and a seeded workload driver.
 //!
 //! # Quick start
 //!
@@ -85,3 +87,4 @@ pub use byzreg_crypto as crypto;
 pub use byzreg_mp as mp;
 pub use byzreg_runtime as runtime;
 pub use byzreg_spec as spec;
+pub use byzreg_store as store;

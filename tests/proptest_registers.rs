@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 
+use byzreg::core::api::{SignatureRegister, SignatureSigner, SignatureVerifier};
 use byzreg::core::{attacks, AuthenticatedRegister, StickyRegister, VerifiableRegister};
 use byzreg::runtime::{ProcessId, Scheduling, System};
 use byzreg::spec::augment::{check_byzantine_sticky, check_byzantine_verifiable};
@@ -26,8 +27,72 @@ fn reader_steps() -> impl Strategy<Value = Vec<ReaderStep>> {
     )
 }
 
+/// One boundary-resilience workload through the trait layer: random writes
+/// (each signed), then the signature contract — the first written value
+/// verifies (it is signed for Algorithms 1–2 and the stuck value for
+/// Algorithm 3), a never-written probe does not, and the batched
+/// `verify_many` agrees with the per-value loop. Exercises the generic
+/// `quorum_rounds` engine at the given `(n, f)`.
+fn boundary_workload<R: SignatureRegister<u8>>(n: usize, f: usize, seed: u64, writes: &[u8]) {
+    let system = System::builder(n).resilience(f).scheduling(Scheduling::Chaotic(seed)).build();
+    let reg = R::install_default(&system, 200);
+    let mut w = reg.signer();
+    let mut r = reg.verifier(ProcessId::new(2));
+    for v in writes {
+        w.write_value(*v).unwrap();
+        assert!(w.sign_value(v).unwrap(), "{}: signing a written value", R::FAMILY);
+    }
+    let target = writes[0];
+    assert!(
+        r.verify_value(&target).unwrap(),
+        "{} at n={n}, f={f}: the first signed value must verify",
+        R::FAMILY
+    );
+    assert!(
+        !r.verify_value(&99).unwrap(),
+        "{} at n={n}, f={f}: a never-written value must not verify",
+        R::FAMILY
+    );
+    let batched = r.verify_many(&[target, 99]).unwrap();
+    assert_eq!(batched, vec![true, false], "{} at n={n}, f={f}: batched != loop", R::FAMILY);
+    system.shutdown();
+}
+
+fn boundary_all_families(n: usize, f: usize, seed: u64, writes: &[u8]) {
+    boundary_workload::<VerifiableRegister<u8>>(n, f, seed, writes);
+    boundary_workload::<AuthenticatedRegister<u8>>(n, f, seed, writes);
+    boundary_workload::<StickyRegister<u8>>(n, f, seed, writes);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// `f = 0` boundary: quorums degenerate to unanimity (`n − f = n`) and
+    /// a single dissent (`f + 1 = 1`) decides false. The smallest systems
+    /// the model admits (n = 2, 3) drive the generic `quorum_rounds`
+    /// engine through both decision rules.
+    #[test]
+    fn quorum_engine_f0_boundary(
+        seed in 0u64..1_000,
+        writes in prop::collection::vec(0u8..4, 1..3),
+    ) {
+        for n in [2usize, 3] {
+            boundary_all_families(n, 0, seed, &writes);
+        }
+    }
+
+    /// `n = 3f + 1` boundary: the minimal resilience the paper proves
+    /// sufficient (and Theorem 31 proves necessary). `(4, 1)` and `(7, 2)`
+    /// leave no slack between `n − f` and `2f + 1`.
+    #[test]
+    fn quorum_engine_minimal_n_boundary(
+        seed in 0u64..1_000,
+        writes in prop::collection::vec(0u8..4, 1..3),
+    ) {
+        for (n, f) in [(4usize, 1usize), (7, 2)] {
+            boundary_all_families(n, f, seed, &writes);
+        }
+    }
 
     /// Verifiable register: random writer values, random reader schedules,
     /// random seed — the history always linearizes and satisfies

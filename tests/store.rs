@@ -1,0 +1,114 @@
+//! Store acceptance workloads: a seeded mixed workload over a 1024-key
+//! space with 8 shards and a nonzero Byzantine fraction runs to completion
+//! for every register family, on both the shared-memory and the
+//! message-passing backend (the batched-vs-looped equivalence itself is
+//! unit-tested in `byzreg-store`; the perf comparison lives in
+//! `BENCH_store.json` via the `store_workload` driver).
+
+use byzreg::core::api::SignatureRegister;
+use byzreg::core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
+use byzreg::mp::MpFactory;
+use byzreg::runtime::LocalFactory;
+use byzreg::store::workload::{build_system, run_workload, WorkloadConfig};
+use byzreg::store::WorkloadReport;
+
+/// The shared-memory acceptance shape: full key space and shard count,
+/// mixed 40/30/30 ops, two writer + two reader threads, one Byzantine
+/// process out of five.
+fn shm_cfg() -> WorkloadConfig {
+    WorkloadConfig {
+        keys: 1024,
+        shards: 8,
+        ops: 96,
+        read_pct: 40,
+        write_pct: 30,
+        batch: 8,
+        skew: 0.8,
+        writers: 2,
+        readers: 2,
+        n: 5,
+        byzantine: 1,
+        seed: 13,
+    }
+}
+
+/// The message-passing acceptance shape: same key space and shards, far
+/// fewer operations and a hotter key set — every instantiated key spawns
+/// an emulated register fabric with its own node threads.
+fn mp_cfg() -> WorkloadConfig {
+    WorkloadConfig {
+        keys: 1024,
+        shards: 8,
+        ops: 12,
+        read_pct: 40,
+        write_pct: 35,
+        batch: 4,
+        skew: 0.97,
+        writers: 1,
+        readers: 1,
+        n: 4,
+        byzantine: 1,
+        seed: 13,
+    }
+}
+
+fn check(report: &WorkloadReport, cfg: &WorkloadConfig) {
+    assert_eq!(report.ops, cfg.ops, "{}/{}", report.family, report.backend);
+    assert_eq!(
+        report.write.count + report.read.count + report.verify.count,
+        cfg.ops,
+        "{}/{}: every item must be measured",
+        report.family,
+        report.backend
+    );
+    assert!(report.byzantine > 0, "the acceptance workload requires a Byzantine fraction");
+    assert!(report.distinct_keys > 0 && report.distinct_keys as u64 <= cfg.keys);
+    assert!(report.ops_per_sec > 0.0);
+}
+
+fn shm_workload<R: SignatureRegister<u64>>() {
+    let cfg = shm_cfg();
+    let system = build_system(&cfg);
+    let report = run_workload::<R, _>(&system, LocalFactory, "shm", &cfg).unwrap();
+    system.shutdown();
+    check(&report, &cfg);
+}
+
+fn mp_workload<R: SignatureRegister<u64>>() {
+    let cfg = mp_cfg();
+    let system = build_system(&cfg);
+    let factory = MpFactory::default();
+    let report = run_workload::<R, _>(&system, &factory, "mp", &cfg).unwrap();
+    system.shutdown();
+    check(&report, &cfg);
+}
+
+#[test]
+fn shm_store_workload_verifiable() {
+    shm_workload::<VerifiableRegister<u64>>();
+}
+
+#[test]
+fn shm_store_workload_authenticated() {
+    shm_workload::<AuthenticatedRegister<u64>>();
+}
+
+#[test]
+fn shm_store_workload_sticky() {
+    shm_workload::<StickyRegister<u64>>();
+}
+
+#[test]
+fn mp_store_workload_verifiable() {
+    mp_workload::<VerifiableRegister<u64>>();
+}
+
+#[test]
+fn mp_store_workload_authenticated() {
+    mp_workload::<AuthenticatedRegister<u64>>();
+}
+
+#[test]
+fn mp_store_workload_sticky() {
+    mp_workload::<StickyRegister<u64>>();
+}
