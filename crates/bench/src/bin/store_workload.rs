@@ -46,6 +46,7 @@ fn main() {
     runs.extend(family_runs::<VerifiableRegister<u64>>(full));
     runs.extend(family_runs::<AuthenticatedRegister<u64>>(full));
     runs.extend(family_runs::<StickyRegister<u64>>(full));
+    runs.push(mp_scale_run(full));
 
     println!();
     println!("batched verify_many vs per-key loop (shm, skewed 96-check batch)");
@@ -73,8 +74,8 @@ fn shm_cfg(full: bool) -> WorkloadConfig {
 
 /// The message-passing workload shape: same key space and shard count, far
 /// fewer operations and a hotter key set — every base-register access is a
-/// quorum protocol over a simulated network, and each instantiated key
-/// spawns its register fabric's node threads.
+/// quorum protocol over a simulated network. (The historical 6-distinct-key
+/// shape, kept as the cross-PR MP throughput baseline.)
 fn mp_cfg(full: bool) -> WorkloadConfig {
     WorkloadConfig {
         keys: 1024,
@@ -88,8 +89,50 @@ fn mp_cfg(full: bool) -> WorkloadConfig {
         readers: 1,
         n: 4,
         byzantine: 1,
+        prepopulate: false,
         seed: 7,
     }
+}
+
+/// The MP-scale shape: every one of the 1024 keys is instantiated
+/// (prepopulated), so the backend holds the full key space of emulated
+/// register fabrics **live at once** — thousands of base registers, all
+/// multiplexed on the factory's fixed reactor pool. Impossible under the
+/// old thread-per-node design, which would have needed `keys × fabric × n`
+/// OS threads (hundreds of thousands). The timed mix is read/write only:
+/// with every key's help task sharing one engine round per process,
+/// verify latency at this key count is the known per-shard-help-engine
+/// follow-up (see ROADMAP), not what this scenario measures.
+fn mp_scale_cfg(full: bool) -> WorkloadConfig {
+    WorkloadConfig {
+        keys: 1024,
+        shards: 16,
+        ops: if full { 128 } else { 64 },
+        read_pct: 50,
+        write_pct: 50,
+        batch: 8,
+        skew: 0.4,
+        writers: 1,
+        readers: 1,
+        n: 4,
+        byzantine: 1,
+        prepopulate: true,
+        seed: 7,
+    }
+}
+
+/// Runs the MP-scale scenario (one family suffices — the scale axis is
+/// the backend, not the register algorithm) on a capped 8-worker pool.
+fn mp_scale_run(full: bool) -> WorkloadReport {
+    let cfg = mp_scale_cfg(full);
+    let system = build_system(&cfg);
+    let factory = MpFactory::with_workers(byzreg_mp::NetConfig::instant(), 8);
+    let report = run_workload::<VerifiableRegister<u64>, _>(&system, &factory, "mp-scale", &cfg)
+        .expect("mp scale run");
+    system.shutdown();
+    assert!(report.distinct_keys as u64 >= cfg.keys, "scale run must instantiate every key");
+    print_run(&report);
+    report
 }
 
 fn print_run(report: &WorkloadReport) {

@@ -7,10 +7,18 @@
 //! in signature-free Byzantine message-passing systems with `n > 3f` —
 //! rather than merely citing it (experiment E6).
 //!
+//! Every register spawned through one factory shares the factory's single
+//! [`Reactor`]: a keyed store instantiating thousands of emulated
+//! registers still runs on the factory's fixed worker pool (default
+//! `min(8, parallelism)` threads), where the old design spawned `n`
+//! dedicated threads *per register*.
+//!
 //! Process identity is threaded through automatically: a register access by
 //! a thread participating as `p_k` is served by `p_k`'s protocol node.
 //! Declared-Byzantine processes get no protocol client; adversaries attack
 //! at the message level via [`MpRegister::byzantine_endpoint`].
+
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -20,6 +28,7 @@ use byzreg_runtime::{
 };
 
 use crate::net::NetConfig;
+use crate::reactor::Reactor;
 use crate::swmr::{MpClient, MpConfig, MpRegister};
 
 struct MpCell<T: Value> {
@@ -86,26 +95,51 @@ impl<T: Value> CellBackend<T> for MpCell<T> {
     }
 }
 
-/// A [`RegisterFactory`] backed by per-register message-passing emulations.
+/// A [`RegisterFactory`] backed by per-register message-passing emulations,
+/// all multiplexed onto one shared [`Reactor`].
 ///
-/// Keeps every spawned [`MpRegister`] alive (and shuts its node threads down
-/// on drop).
+/// Keeps every spawned [`MpRegister`] alive; dropping the factory removes
+/// their tasks and stops the reactor's workers.
 pub struct MpFactory {
     net: NetConfig,
+    reactor: Arc<Reactor>,
     registers: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
 }
 
 impl MpFactory {
-    /// Creates a factory with the given simulated-network behavior.
+    /// Creates a factory with the given simulated-network behavior and the
+    /// default worker pool: `min(8, available parallelism)` threads,
+    /// regardless of how many registers are spawned.
     #[must_use]
     pub fn new(net: NetConfig) -> Self {
-        MpFactory { net, registers: Mutex::new(Vec::new()) }
+        let parallelism = std::thread::available_parallelism().map_or(4, usize::from);
+        MpFactory::with_workers(net, parallelism.min(8))
+    }
+
+    /// Creates a factory whose reactor runs exactly `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn with_workers(net: NetConfig, workers: usize) -> Self {
+        MpFactory {
+            net,
+            reactor: Arc::new(Reactor::new(workers)),
+            registers: Mutex::new(Vec::new()),
+        }
     }
 
     /// Number of emulated registers spawned so far.
     #[must_use]
     pub fn spawned(&self) -> usize {
         self.registers.lock().len()
+    }
+
+    /// Number of reactor worker threads serving every spawned register.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.reactor.worker_count()
     }
 }
 
@@ -115,9 +149,18 @@ impl Default for MpFactory {
     }
 }
 
+impl Drop for MpFactory {
+    fn drop(&mut self) {
+        // Remove the register tasks before stopping the workers, so drop
+        // order inside the reactor stays register → reactor.
+        self.registers.lock().clear();
+        self.reactor.shutdown();
+    }
+}
+
 impl std::fmt::Debug for MpFactory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MpFactory({} registers spawned)", self.spawned())
+        write!(f, "MpFactory({} registers, {} workers)", self.spawned(), self.worker_count())
     }
 }
 
@@ -135,8 +178,9 @@ impl RegisterFactory for MpFactory {
             writer: owner,
             net: self.net,
             byzantine: env.faulty(),
+            trace: false,
         };
-        let reg = MpRegister::spawn(&config, init);
+        let reg = MpRegister::spawn_on(&self.reactor, &config, init);
         let clients: Vec<Option<MpClient<T>>> = (1..=env.n())
             .map(|i| {
                 let pid = ProcessId::new(i);
@@ -174,6 +218,19 @@ mod tests {
         w.update(|v| v.push(1));
         w.update(|v| v.push(2));
         assert_eq!(r.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn factory_worker_pool_is_fixed() {
+        let sys = System::builder(4).build();
+        let factory = MpFactory::with_workers(NetConfig::instant(), 2);
+        for i in 0..24 {
+            let (w, r) = factory.create(sys.env(), ProcessId::new(1), format!("R{i}"), 0u32);
+            w.write(i);
+            assert_eq!(r.read(), i);
+        }
+        assert_eq!(factory.spawned(), 24);
+        assert_eq!(factory.worker_count(), 2, "24 registers, still 2 threads");
     }
 
     #[test]

@@ -24,21 +24,31 @@
 //!   *exactly* `(best, v)` — which leaves `f + 1` correct nodes pinned at
 //!   `≥ best`, making reads monotone (no new/old inversion).
 //!
+//! # Execution model
+//!
+//! Nodes are **message-driven state machines**, not threads: every node
+//! implements [`NodeStateMachine`], whose transitions fire on a delivered
+//! protocol message (`on_message`) or on a housekeeping tick (`on_tick` —
+//! where an idle node picks up its next queued client command). All `n`
+//! nodes of one register live in a single [`ReactorTask`] that drains the
+//! register's virtual-time network in seeded delivery order, so a register
+//! costs **zero** dedicated threads: any number of registers multiplex onto
+//! one [`Reactor`]'s fixed worker pool (see [`crate::reactor`]).
+//!
 //! Liveness caveat (documented in DESIGN.md): reads are guaranteed to
 //! terminate when the writer eventually pauses — the classic cost of
 //! atomic reads without writer-side helping; all tests and benches satisfy
 //! this.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use byzreg_runtime::{ProcessId, Value};
 
-use crate::net::{network, Endpoint, NetConfig};
+use crate::net::{DeliverySchedule, Endpoint, Net, NetConfig};
+use crate::reactor::{Reactor, ReactorTask, TaskId};
 
 /// Protocol messages. Public so Byzantine nodes can craft arbitrary ones.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,6 +106,21 @@ enum Cmd<V> {
     Read(Sender<(u64, V)>),
 }
 
+/// A poll-driven protocol node: all state transitions fire either on a
+/// delivered message or on a tick issued by the hosting reactor task after
+/// each delivery drain. Implementations must never block — replacing the
+/// old blocking `recv_timeout` node loop (and its idle poll backoff, dead
+/// now that quiet nodes simply receive no calls).
+pub trait NodeStateMachine<V: Value> {
+    /// Handles one delivered protocol message from `from`.
+    fn on_message(&mut self, from: ProcessId, msg: Msg<V>);
+
+    /// Housekeeping transition: returns `true` if the node changed state
+    /// (for the SWMR node: an idle node started its next queued client
+    /// command). The hosting task ticks until quiescence.
+    fn on_tick(&mut self) -> bool;
+}
+
 struct Node<V: Value> {
     ep: Endpoint<Msg<V>>,
     n: usize,
@@ -112,6 +137,7 @@ struct Node<V: Value> {
     // Client-side state (this node doubles as its process's client agent).
     next_sn: u64,
     next_rid: u64,
+    queued: VecDeque<Cmd<V>>,
     write_op: Option<(u64, HashSet<ProcessId>, Sender<()>)>,
     read_op: Option<ReadOp<V>>,
 }
@@ -139,7 +165,26 @@ impl<V: Value> Node<V> {
         }
     }
 
-    fn handle(&mut self, from: ProcessId, msg: Msg<V>) {
+    fn start(&mut self, cmd: Cmd<V>) {
+        match cmd {
+            Cmd::Write(v, reply) => {
+                self.next_sn += 1;
+                let sn = self.next_sn;
+                self.write_op = Some((sn, HashSet::new(), reply));
+                self.ep.broadcast(Msg::Write { sn, v });
+            }
+            Cmd::Read(reply) => {
+                self.next_rid += 1;
+                let rid = self.next_rid;
+                self.read_op = Some(ReadOp { rid, reports: BTreeMap::new(), reply });
+                self.ep.broadcast(Msg::Read { rid });
+            }
+        }
+    }
+}
+
+impl<V: Value> NodeStateMachine<V> for Node<V> {
+    fn on_message(&mut self, from: ProcessId, msg: Msg<V>) {
         match msg {
             Msg::Write { sn, v } => {
                 if from == self.writer && !self.echoed.contains_key(&sn) {
@@ -189,7 +234,6 @@ impl<V: Value> Node<V> {
                 self.pending_readers.remove(&(from, rid));
             }
             Msg::State { rid, ts, v } => {
-                let me = self.ep.id();
                 if let Some(op) = &mut self.read_op {
                     if op.rid == rid {
                         op.reports.insert(from, (ts, v));
@@ -197,7 +241,6 @@ impl<V: Value> Node<V> {
                             let _ = op.reply.send(result);
                             let done = op.rid;
                             self.read_op = None;
-                            let _ = me;
                             self.ep.broadcast(Msg::ReadDone { rid: done });
                         }
                     }
@@ -206,20 +249,18 @@ impl<V: Value> Node<V> {
         }
     }
 
-    fn start(&mut self, cmd: Cmd<V>) {
-        match cmd {
-            Cmd::Write(v, reply) => {
-                self.next_sn += 1;
-                let sn = self.next_sn;
-                self.write_op = Some((sn, HashSet::new(), reply));
-                self.ep.broadcast(Msg::Write { sn, v });
+    fn on_tick(&mut self) -> bool {
+        // A node applies its process's operations sequentially: the next
+        // queued client command starts only once no operation is in flight.
+        if self.write_op.is_some() || self.read_op.is_some() {
+            return false;
+        }
+        match self.queued.pop_front() {
+            Some(cmd) => {
+                self.start(cmd);
+                true
             }
-            Cmd::Read(reply) => {
-                self.next_rid += 1;
-                let rid = self.next_rid;
-                self.read_op = Some(ReadOp { rid, reports: BTreeMap::new(), reply });
-                self.ep.broadcast(Msg::Read { rid });
-            }
+            None => false,
         }
     }
 }
@@ -251,30 +292,44 @@ fn decide_read<V: Value>(
     exact.into_iter().find(|(_, c)| *c >= n - f).map(|(v, _)| (best, v.clone()))
 }
 
-fn node_loop<V: Value>(mut node: Node<V>, cmds: Receiver<Cmd<V>>, stop: Arc<AtomicBool>) {
-    // Idle backoff: a node with no in-flight client op and no traffic
-    // doubles its poll interval up to `IDLE_MAX`, then snaps back to
-    // `BASE` on any activity. A keyed store instantiates *hundreds* of
-    // emulated registers, most idle at any instant; without the backoff
-    // their node threads wake every `BASE` and the context-switch load
-    // alone saturates cores. The price is a few ms of pickup latency on
-    // the first operation after a quiet spell.
-    const BASE: Duration = Duration::from_micros(300);
-    const IDLE_MAX: Duration = Duration::from_millis(5);
-    let mut timeout = BASE;
-    while !stop.load(Ordering::Relaxed) {
-        // Accept one new client command when idle.
-        if node.write_op.is_none() && node.read_op.is_none() {
-            if let Ok(cmd) = cmds.try_recv() {
-                node.start(cmd);
-                timeout = BASE;
+/// The reactor task hosting one register: all correct nodes plus the
+/// register's network, drained in virtual-delivery order. One run processes
+/// every queued client command and every scheduled message to quiescence.
+struct RegisterTask<V: Value> {
+    net: Arc<Net<Msg<V>>>,
+    /// `None` for declared-Byzantine pids (their queue is read externally
+    /// through the Byzantine endpoint, never by this task).
+    nodes: Vec<Option<Node<V>>>,
+    cmds: Vec<Option<Receiver<Cmd<V>>>>,
+    managed: Vec<bool>,
+}
+
+impl<V: Value> ReactorTask for RegisterTask<V> {
+    fn run(&mut self) {
+        loop {
+            let mut progress = false;
+            for (i, rx) in self.cmds.iter().enumerate() {
+                if let Some(rx) = rx {
+                    while let Ok(cmd) = rx.try_recv() {
+                        self.nodes[i]
+                            .as_mut()
+                            .expect("correct node has cmds")
+                            .queued
+                            .push_back(cmd);
+                        progress = true;
+                    }
+                }
             }
-        }
-        if let Some((from, msg)) = node.ep.recv_timeout(timeout) {
-            node.handle(from, msg);
-            timeout = BASE;
-        } else if node.write_op.is_none() && node.read_op.is_none() {
-            timeout = (timeout * 2).min(IDLE_MAX);
+            for node in self.nodes.iter_mut().flatten() {
+                progress |= node.on_tick();
+            }
+            while let Some((to, from, msg)) = self.net.next_event(&self.managed) {
+                self.nodes[to.zero_based()].as_mut().expect("managed node").on_message(from, msg);
+                progress = true;
+            }
+            if !progress {
+                return;
+            }
         }
     }
 }
@@ -293,6 +348,10 @@ pub struct MpConfig {
     /// Declared-Byzantine nodes: they run no protocol; grab their endpoint
     /// with [`MpRegister::byzantine_endpoint`] to attack.
     pub byzantine: Vec<ProcessId>,
+    /// Record the delivery schedule (see
+    /// [`MpRegister::delivery_schedule`]); off by default — the trace grows
+    /// with every message.
+    pub trace: bool,
 }
 
 impl MpConfig {
@@ -305,11 +364,13 @@ impl MpConfig {
             writer: ProcessId::new(1),
             net: NetConfig::instant(),
             byzantine: Vec::new(),
+            trace: false,
         }
     }
 }
 
-/// One emulated SWMR register over its own `n`-node network.
+/// One emulated SWMR register over its own `n`-node virtual network,
+/// hosted as a single task on a [`Reactor`].
 ///
 /// The writer is `p1`. Every process has a client handle to its co-located
 /// node; handles are thread-safe and serialize their process's operations.
@@ -317,13 +378,19 @@ pub struct MpRegister<V: Value> {
     writer: ProcessId,
     cmd_tx: Vec<Option<Sender<Cmd<V>>>>,
     byz_eps: parking_lot::Mutex<Vec<Option<Endpoint<Msg<V>>>>>,
-    stop: Arc<AtomicBool>,
-    threads: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    net: Arc<Net<Msg<V>>>,
+    reactor: Arc<Reactor>,
+    /// `true` when `spawn` created a private reactor that `shutdown` owns.
+    owns_reactor: bool,
+    task: TaskId,
+    wake: Arc<dyn Fn() + Send + Sync>,
     n: usize,
 }
 
 impl<V: Value> MpRegister<V> {
-    /// Spawns the node threads and returns the register.
+    /// Spawns the register on a private single-worker reactor. Use
+    /// [`MpRegister::spawn_on`] to multiplex many registers onto one
+    /// shared reactor (as [`crate::MpFactory`] does).
     ///
     /// # Panics
     ///
@@ -331,22 +398,41 @@ impl<V: Value> MpRegister<V> {
     /// meaningful "run it anyway" mode here, the emulation would be unsound.
     #[must_use]
     pub fn spawn(config: &MpConfig, v0: V) -> Self {
+        let mut reg = Self::spawn_on(&Arc::new(Reactor::new(1)), config, v0);
+        reg.owns_reactor = true;
+        reg
+    }
+
+    /// Spawns the register as one task on `reactor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f` (see [`MpRegister::spawn`]).
+    #[must_use]
+    pub fn spawn_on(reactor: &Arc<Reactor>, config: &MpConfig, v0: V) -> Self {
         assert!(config.n > 3 * config.f, "the MP emulation requires n > 3f");
-        let eps = network::<Msg<V>>(config.n, config.net);
-        let stop = Arc::new(AtomicBool::new(false));
+        let net = Net::<Msg<V>>::new(config.n, config.net, config.trace);
         let mut cmd_tx = Vec::with_capacity(config.n);
         let mut byz_eps: Vec<Option<Endpoint<Msg<V>>>> = (0..config.n).map(|_| None).collect();
-        let mut threads = Vec::new();
-        for ep in eps {
-            let pid = ep.id();
+        let mut nodes = Vec::with_capacity(config.n);
+        let mut cmds = Vec::with_capacity(config.n);
+        let mut managed = Vec::with_capacity(config.n);
+        for i in 1..=config.n {
+            let pid = ProcessId::new(i);
+            let ep = net.endpoint(pid);
             if config.byzantine.contains(&pid) {
                 byz_eps[pid.zero_based()] = Some(ep);
                 cmd_tx.push(None);
+                nodes.push(None);
+                cmds.push(None);
+                managed.push(false);
                 continue;
             }
             let (tx, rx) = unbounded();
             cmd_tx.push(Some(tx));
-            let node = Node {
+            cmds.push(Some(rx));
+            managed.push(true);
+            nodes.push(Some(Node {
                 ep,
                 n: config.n,
                 f: config.f,
@@ -360,24 +446,28 @@ impl<V: Value> MpRegister<V> {
                 pending_readers: HashSet::new(),
                 next_sn: 0,
                 next_rid: 0,
+                queued: VecDeque::new(),
                 write_op: None,
                 read_op: None,
-            };
-            let stop2 = Arc::clone(&stop);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("mp-node-{pid}"))
-                    .stack_size(256 * 1024)
-                    .spawn(move || node_loop(node, rx, stop2))
-                    .expect("spawn mp node"),
-            );
+            }));
         }
+        let task = reactor.register(Box::new(RegisterTask {
+            net: Arc::clone(&net),
+            nodes,
+            cmds,
+            managed,
+        }));
+        let wake = reactor.waker(task);
+        net.set_wake(Arc::clone(&wake));
         MpRegister {
             writer: config.writer,
             cmd_tx,
             byz_eps: parking_lot::Mutex::new(byz_eps),
-            stop,
-            threads: parking_lot::Mutex::new(threads),
+            net,
+            reactor: Arc::clone(reactor),
+            owns_reactor: false,
+            task,
+            wake,
             n: config.n,
         }
     }
@@ -394,7 +484,7 @@ impl<V: Value> MpRegister<V> {
         let tx = self.cmd_tx[pid.zero_based()]
             .clone()
             .unwrap_or_else(|| panic!("{pid} is Byzantine; use byzantine_endpoint"));
-        MpClient { pid, writer: self.writer, tx }
+        MpClient { pid, writer: self.writer, tx, wake: Arc::clone(&self.wake) }
     }
 
     /// The raw network endpoint of a declared-Byzantine node.
@@ -413,11 +503,21 @@ impl<V: Value> MpRegister<V> {
         self.n
     }
 
-    /// Stops all node threads.
+    /// The delivery order recorded so far as `(from, to)` pairs; `None`
+    /// unless the register was spawned with [`MpConfig::trace`] on. Same
+    /// seed + same command sequence ⇒ same schedule.
+    #[must_use]
+    pub fn delivery_schedule(&self) -> Option<DeliverySchedule> {
+        self.net.trace()
+    }
+
+    /// Removes the register's task from its reactor (clients panic on
+    /// further use, as when the node threads of the old design were
+    /// stopped). Idempotent; also invoked by `Drop`.
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::Relaxed);
-        for h in self.threads.lock().drain(..) {
-            let _ = h.join();
+        self.reactor.remove(self.task);
+        if self.owns_reactor {
+            self.reactor.shutdown();
         }
     }
 }
@@ -440,6 +540,7 @@ pub struct MpClient<V> {
     pid: ProcessId,
     writer: ProcessId,
     tx: Sender<Cmd<V>>,
+    wake: Arc<dyn Fn() + Send + Sync>,
 }
 
 impl<V: Value> MpClient<V> {
@@ -458,6 +559,7 @@ impl<V: Value> MpClient<V> {
         assert!(self.pid == self.writer, "{} does not own the write port", self.pid);
         let (reply_tx, reply_rx) = bounded(1);
         self.tx.send(Cmd::Write(v, reply_tx)).expect("node alive");
+        (self.wake)();
         let _ = reply_rx.recv();
     }
 
@@ -467,6 +569,7 @@ impl<V: Value> MpClient<V> {
     pub fn read(&self) -> (u64, V) {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx.send(Cmd::Read(reply_tx)).expect("node alive");
+        (self.wake)();
         reply_rx.recv().expect("node alive")
     }
 }
@@ -480,6 +583,7 @@ impl<V> std::fmt::Debug for MpClient<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn decide_read_initial_state() {
@@ -585,5 +689,62 @@ mod tests {
             assert_eq!(v, i);
         }
         reg.shutdown();
+    }
+
+    #[test]
+    fn many_registers_share_one_reactor() {
+        let reactor = Arc::new(Reactor::new(2));
+        let regs: Vec<MpRegister<u32>> =
+            (0..32).map(|_| MpRegister::spawn_on(&reactor, &MpConfig::new(4), 0)).collect();
+        for (i, reg) in regs.iter().enumerate() {
+            reg.client(ProcessId::new(1)).write(i as u32);
+        }
+        for (i, reg) in regs.iter().enumerate() {
+            assert_eq!(reg.client(ProcessId::new(2)).read(), (1, i as u32));
+        }
+        assert_eq!(reactor.worker_count(), 2, "32 registers, 2 threads");
+        for reg in &regs {
+            reg.shutdown();
+        }
+        reactor.shutdown();
+    }
+
+    /// One seeded run of a fixed command sequence: returns the read results
+    /// and the full delivery schedule.
+    fn seeded_run(seed: u64) -> (Vec<(u64, u32)>, DeliverySchedule) {
+        let mut config = MpConfig::new(4);
+        config.net = NetConfig::jittery(Duration::from_millis(2), seed);
+        config.trace = true;
+        let reg = MpRegister::spawn(&config, 0u32);
+        let w = reg.client(ProcessId::new(1));
+        let r = reg.client(ProcessId::new(2));
+        let mut results = Vec::new();
+        for i in 1..=6u32 {
+            w.write(i * 10);
+            results.push(r.read());
+        }
+        let schedule = reg.delivery_schedule().expect("tracing on");
+        reg.shutdown();
+        (results, schedule)
+    }
+
+    #[test]
+    fn same_seed_same_schedule_and_same_decisions() {
+        // The reactor determinism guarantee: the virtual-time network makes
+        // the complete delivery order — and therefore every register
+        // decision — a pure function of the seed and the command sequence.
+        let (results_a, schedule_a) = seeded_run(42);
+        let (results_b, schedule_b) = seeded_run(42);
+        assert_eq!(schedule_a, schedule_b, "same seed must replay the delivery order");
+        assert_eq!(results_a, results_b);
+        assert_eq!(results_a, (1..=6).map(|i| (u64::from(i), i * 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_schedule_differently() {
+        let (results_a, schedule_a) = seeded_run(42);
+        let (results_c, schedule_c) = seeded_run(43);
+        assert_ne!(schedule_a, schedule_c, "different seeds explore different schedules");
+        assert_eq!(results_a, results_c, "but sequential decisions agree");
     }
 }

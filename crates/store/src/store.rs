@@ -9,14 +9,16 @@
 //!
 //! The batched paths are where the store earns its keep under load:
 //! [`ByzStore::verify_many`] groups a batch of `(key, value)` checks by
-//! key, dedupes identical checks, and hands each key's distinct values to
-//! the family's batched verifier — **one** §5.1 round sequence per key
-//! instead of one per check. [`ByzStore::read_many`] likewise answers
-//! duplicate keys from a single quorum read. Under skewed (Zipf-like)
-//! traffic, where a few hot keys dominate every batch, this amortization
-//! is the difference between per-check and per-key cost.
+//! key, dedupes identical checks, and **fuses** every engine-backed key
+//! into one cross-register §5.1 round sequence — a single logical asker
+//! counter per reader drives all touched registers' voting loops in
+//! lockstep ([`verify_quorum_groups`]), so a batch spanning many keys
+//! costs the slowest key's rounds, not the sum of every key's rounds.
+//! [`ByzStore::read_many`] likewise answers duplicate keys from a single
+//! quorum read. Under skewed (Zipf-like) traffic the dedupe amortizes hot
+//! keys; under spread-out traffic the fusion amortizes the cold ones.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hasher;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -24,6 +26,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use byzreg_core::api::{SignatureRegister, SignatureSigner, SignatureVerifier};
+use byzreg_core::quorum::{verify_quorum_groups, VerifyGroup};
 use byzreg_runtime::{ProcessId, RegisterFactory, Result, System, Value};
 
 /// Store-level tuning knobs.
@@ -217,11 +220,17 @@ impl<'s, K: Value, V: Value, R: SignatureRegister<V>, F: RegisterFactory> ByzSto
     }
 
     /// Verifies a batch of `(key, value)` checks, amortizing the quorum
-    /// machinery across the batch: checks are grouped by key, identical
-    /// checks are deduped, and each key's distinct values go through the
-    /// family's batched verifier in **one** round sequence. Results are in
-    /// input order; semantically equivalent to calling
-    /// [`verify`](ByzStore::verify) once per check.
+    /// machinery across the **whole batch, across keys**: checks are
+    /// grouped by key, identical checks are deduped, and every
+    /// engine-backed key (verifiable/authenticated) joins one **fused**
+    /// cross-register round sequence driven by a single logical asker
+    /// counter per reader ([`verify_quorum_groups`]) — one shared round
+    /// cursor fanned out to every touched register, so a batch spanning
+    /// `m` keys waits for the slowest key's rounds instead of the sum of
+    /// all keys' rounds. Engine-less keys (sticky) answer their checks
+    /// from one quorum read each, as before. Results are in input order;
+    /// semantically equivalent to calling [`verify`](ByzStore::verify)
+    /// once per check.
     ///
     /// # Errors
     ///
@@ -231,21 +240,41 @@ impl<'s, K: Value, V: Value, R: SignatureRegister<V>, F: RegisterFactory> ByzSto
     ///
     /// Panics if `pid` is the writer or declared Byzantine.
     pub fn verify_many(&self, pid: ProcessId, checks: &[(K, V)]) -> Result<Vec<bool>> {
+        enum Plan {
+            /// Outcomes come from fused group `i` of the cross-key run.
+            Fused(usize),
+            /// Outcomes were answered by the key's own batched verifier.
+            Done(Vec<bool>),
+        }
+
         let mut results = vec![false; checks.len()];
-        let mut by_key: HashMap<&K, Vec<usize>> = HashMap::new();
+        // Sorted key grouping: the verifier locks below are taken in this
+        // global order, so concurrent batches can never deadlock.
+        let mut by_key: BTreeMap<&K, Vec<usize>> = BTreeMap::new();
         for (i, (key, _)) in checks.iter().enumerate() {
             by_key.entry(key).or_default().push(i);
         }
-        for (key, idxs) in by_key {
-            let entry = self.entry(key);
-            let verifier = entry.verifier(pid);
+        type KeyHandle<X> = (Vec<usize>, Arc<Mutex<X>>);
+        let handles: Vec<KeyHandle<R::Verifier>> =
+            by_key.into_iter().map(|(key, idxs)| (idxs, self.entry(key).verifier(pid))).collect();
+
+        // Engine-backed verifiers stay locked for the whole fused run (the
+        // shared cursor owns each key's asker counter until the batch is
+        // decided); engine-less ones (sticky) answer their checks and
+        // release their lock immediately — holding only one key's lock at
+        // a time, exactly like the unfused per-key path. Acquisition stays
+        // in sorted-key order throughout, so no deadlock either way.
+        let mut fused_guards = Vec::new();
+        let mut fused: Vec<VerifyGroup<V>> = Vec::new();
+        let mut plans = Vec::with_capacity(handles.len());
+        for (idxs, verifier) in &handles {
             let mut guard = verifier.lock();
             // Dedupe identical values for this key: verify once, fan the
             // answer back out to every duplicate check.
             let mut slot_of_value: HashMap<&V, usize> = HashMap::new();
             let mut distinct: Vec<V> = Vec::new();
             let mut slots = Vec::with_capacity(idxs.len());
-            for &i in &idxs {
+            for &i in idxs {
                 let v = &checks[i].1;
                 let slot = *slot_of_value.entry(v).or_insert_with(|| {
                     distinct.push(v.clone());
@@ -253,7 +282,29 @@ impl<'s, K: Value, V: Value, R: SignatureRegister<V>, F: RegisterFactory> ByzSto
                 });
                 slots.push(slot);
             }
-            let outcomes = guard.verify_many(&distinct)?;
+            let plan = match guard.engine_parts() {
+                Some(parts) => {
+                    fused.push(VerifyGroup { parts, vs: distinct });
+                    fused_guards.push(guard);
+                    Plan::Fused(fused.len() - 1)
+                }
+                None => Plan::Done(guard.verify_many(&distinct)?),
+            };
+            plans.push((idxs, slots, plan));
+        }
+
+        let fused_outcomes = if fused.is_empty() {
+            Vec::new()
+        } else {
+            let env = self.system.env();
+            env.run_as(pid, || verify_quorum_groups(env, &fused))?
+        };
+        drop(fused_guards);
+        for (idxs, slots, plan) in plans {
+            let outcomes = match plan {
+                Plan::Fused(group) => &fused_outcomes[group],
+                Plan::Done(ref outcomes) => outcomes,
+            };
             for (&i, &slot) in idxs.iter().zip(&slots) {
                 results[i] = outcomes[slot];
             }
@@ -332,6 +383,34 @@ mod tests {
         assert_eq!(batched, looped);
         assert_eq!(batched, vec![true, true, false, true, false, false, false]);
         system.shutdown();
+    }
+
+    #[test]
+    fn verify_many_fused_across_keys_matches_loop_for_all_families() {
+        // Verifiable/authenticated route through the fused cross-key
+        // engine (one logical asker counter per reader); sticky takes the
+        // engine-less one-read-per-key path. All must agree with the
+        // per-check loop.
+        fn drive<R: SignatureRegister<u64>>() {
+            let system = System::builder(4).build();
+            let store: ByzStore<'_, u64, u64, R, _> =
+                ByzStore::new(&system, LocalFactory, 0, StoreConfig::default());
+            for key in 1..=4u64 {
+                store.write(key, key * 10).unwrap();
+            }
+            let p3 = ProcessId::new(3);
+            let checks: Vec<(u64, u64)> =
+                vec![(1, 10), (4, 40), (2, 99), (3, 30), (1, 11), (2, 20), (4, 40)];
+            let batched = store.verify_many(p3, &checks).unwrap();
+            let looped: Vec<bool> =
+                checks.iter().map(|(k, v)| store.verify(p3, k, v).unwrap()).collect();
+            assert_eq!(batched, looped, "{}", R::FAMILY);
+            assert_eq!(batched, vec![true, true, false, true, false, true, true], "{}", R::FAMILY);
+            system.shutdown();
+        }
+        drive::<VerifiableRegister<u64>>();
+        drive::<AuthenticatedRegister<u64>>();
+        drive::<StickyRegister<u64>>();
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct WorkloadConfig {
     /// Number of top pids declared Byzantine (must stay `<= ⌊(n−1)/3⌋` so
     /// quorums remain live).
     pub byzantine: usize,
+    /// Write every key once before the timed run, so all `keys` registers
+    /// are instantiated regardless of skew — the shape of the MP-scale
+    /// scenario, where the point is *how many live registers* one backend
+    /// holds, not which keys the sampler happens to hit.
+    pub prepopulate: bool,
     /// Master seed; all per-thread streams derive from it.
     pub seed: u64,
 }
@@ -79,6 +84,7 @@ impl WorkloadConfig {
             readers: 2,
             n: 5,
             byzantine: 1,
+            prepopulate: false,
             seed: 7,
         }
     }
@@ -236,6 +242,15 @@ where
 
     let store: ByzStore<'_, u64, u64, R, F> =
         ByzStore::new(system, factory, 0, StoreConfig { shards: cfg.shards });
+
+    if cfg.prepopulate {
+        // Outside the timed window: instantiation cost is a property of
+        // the backend (the MP-scale scenario measures *holding* thousands
+        // of live registers), while `ops_per_sec` measures steady state.
+        for key in 0..cfg.keys {
+            store.write(key, value_of(key))?;
+        }
+    }
 
     let writes = cfg.ops * u64::from(cfg.write_pct) / 100;
     let reads = cfg.ops * u64::from(cfg.read_pct) / 100;
@@ -409,6 +424,7 @@ mod tests {
             readers: 2,
             n: 4,
             byzantine: 1,
+            prepopulate: false,
             seed: 11,
         }
     }
@@ -458,6 +474,15 @@ mod tests {
         let report = drive::<AuthenticatedRegister<u64>>(&cfg);
         assert_eq!(report.ops, 30);
         assert_eq!(report.batch, 1);
+    }
+
+    #[test]
+    fn prepopulate_instantiates_every_key() {
+        let mut cfg = tiny();
+        cfg.prepopulate = true;
+        let report = drive::<VerifiableRegister<u64>>(&cfg);
+        assert_eq!(report.distinct_keys, 64, "every key written once before the timed run");
+        assert_eq!(report.ops, 60, "prepopulation writes are not measured items");
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The store over the E6 message-passing backend: every key's register is
 //! built from `MpRegister` emulations sourced from **one** shared
-//! `MpFactory` (factory reuse is what makes a thousand-key store hold one
-//! backend handle instead of one per key).
+//! `MpFactory` — and every emulation runs as an event-driven task on the
+//! factory's single reactor, so hundreds of keys cost a fixed worker pool
+//! instead of `keys × fabric × n` node threads.
 
 use byzreg_core::VerifiableRegister;
-use byzreg_mp::MpFactory;
+use byzreg_mp::{MpFactory, NetConfig};
 use byzreg_runtime::{ProcessId, System};
 use byzreg_store::store::{ByzStore, StoreConfig};
 
@@ -30,5 +31,51 @@ fn store_over_message_passing_reuses_one_factory() {
     assert_eq!(store.read(p2, &1).unwrap(), Some(10));
     let got = store.verify_many(p2, &[(1, 10), (2, 20), (1, 20), (2, 20)]).unwrap();
     assert_eq!(got, vec![true, true, false, true]);
+    system.shutdown();
+}
+
+/// The OS threads of this process, from `/proc/self/status` (`None` where
+/// procfs is unavailable — the budget assertion is then skipped, the
+/// completion of the workload itself is still the point).
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+#[test]
+fn mp_store_with_500_keys_stays_within_a_fixed_thread_budget() {
+    const KEYS: u64 = 500;
+    // Old design: 500 keys × ~20 base registers × 4 node threads ≈ 40 000
+    // OS threads — unspawnable. New design: a 4-worker reactor, full stop.
+    // The budget leaves room for the test harness, the system's help
+    // engines, and sibling tests running concurrently in this binary.
+    const BUDGET: usize = 64;
+
+    let system = System::builder(4).build();
+    let factory = MpFactory::with_workers(NetConfig::instant(), 4);
+    let store: ByzStore<'_, u64, u64, VerifiableRegister<u64>, _> =
+        ByzStore::new(&system, &factory, 0, StoreConfig { shards: 16 });
+
+    for key in 0..KEYS {
+        store.write(key, key * 3 + 1).unwrap();
+    }
+    assert_eq!(store.len() as u64, KEYS, "all 500 registers are live at once");
+    assert!(factory.spawned() as u64 >= KEYS, "each key holds a full emulated fabric");
+    assert_eq!(factory.worker_count(), 4);
+
+    if let Some(threads) = os_thread_count() {
+        assert!(
+            threads <= BUDGET,
+            "{threads} OS threads for a 500-key MP store; the reactor budget is {BUDGET}"
+        );
+    }
+
+    // The store stays serviceable at this scale.
+    let p2 = ProcessId::new(2);
+    assert_eq!(store.read(p2, &123).unwrap(), Some(123 * 3 + 1));
+    assert_eq!(store.read(p2, &499).unwrap(), Some(499 * 3 + 1));
     system.shutdown();
 }

@@ -28,6 +28,7 @@ fn shm_cfg() -> WorkloadConfig {
         readers: 2,
         n: 5,
         byzantine: 1,
+        prepopulate: false,
         seed: 13,
     }
 }
@@ -48,6 +49,7 @@ fn mp_cfg() -> WorkloadConfig {
         readers: 1,
         n: 4,
         byzantine: 1,
+        prepopulate: false,
         seed: 13,
     }
 }
