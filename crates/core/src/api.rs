@@ -43,7 +43,7 @@
 //! # }
 //! ```
 
-use byzreg_runtime::{ProcessId, RegisterFactory, Result, System, Value};
+use byzreg_runtime::{HelpShard, ProcessId, RegisterFactory, Result, System, Value};
 
 use crate::quorum::EngineParts;
 
@@ -186,6 +186,31 @@ pub trait SignatureRegister<V: Value>: Sized + Send + Sync + 'static {
     /// Panics if `n <= 3f`.
     fn install_with_factory<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self;
 
+    /// Installs the register with its `Help()` tasks hosted on the
+    /// demand-driven help shard `shard` instead of the per-process
+    /// always-on engines: helpers tick only while one of this instance's
+    /// helper-dependent operations is in flight, and a shard with nothing
+    /// pending parks (see `byzreg_runtime::HelpShard`). The keyed store
+    /// installs every key through this, under the key's shard.
+    ///
+    /// The default falls back to [`install_with_factory`]
+    /// (`SignatureRegister::install_with_factory`) — always-on helping is
+    /// a conservative superset of demand-driven helping, so implementors
+    /// that have not adopted shard hosting remain correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    fn install_in_shard<F: RegisterFactory>(
+        system: &System,
+        v0: V,
+        factory: &F,
+        shard: &HelpShard,
+    ) -> Self {
+        let _ = shard;
+        Self::install_with_factory(system, v0, factory)
+    }
+
     /// The unique writer handle.
     ///
     /// # Panics
@@ -212,6 +237,15 @@ impl<V: Value> SignatureRegister<V> for VerifiableRegister<V> {
 
     fn install_with_factory<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self {
         VerifiableRegister::install_with(system, v0, factory)
+    }
+
+    fn install_in_shard<F: RegisterFactory>(
+        system: &System,
+        v0: V,
+        factory: &F,
+        shard: &HelpShard,
+    ) -> Self {
+        VerifiableRegister::install_in_shard(system, v0, factory, shard)
     }
 
     fn signer(&self) -> Self::Signer {
@@ -266,6 +300,15 @@ impl<V: Value> SignatureRegister<V> for AuthenticatedRegister<V> {
 
     fn install_with_factory<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self {
         AuthenticatedRegister::install_with(system, v0, factory)
+    }
+
+    fn install_in_shard<F: RegisterFactory>(
+        system: &System,
+        v0: V,
+        factory: &F,
+        shard: &HelpShard,
+    ) -> Self {
+        AuthenticatedRegister::install_in_shard(system, v0, factory, shard)
     }
 
     fn signer(&self) -> Self::Signer {
@@ -324,6 +367,15 @@ impl<V: Value> SignatureRegister<V> for StickyRegister<V> {
         // The sticky register's initial value is ⊥ (Definition 21); v0 is
         // meaningless for this family and deliberately ignored.
         StickyRegister::install_with(system, factory)
+    }
+
+    fn install_in_shard<F: RegisterFactory>(
+        system: &System,
+        _v0: V,
+        factory: &F,
+        shard: &HelpShard,
+    ) -> Self {
+        StickyRegister::install_in_shard(system, factory, shard)
     }
 
     fn signer(&self) -> Self::Signer {

@@ -42,8 +42,8 @@
 use std::collections::BTreeSet;
 
 use byzreg_runtime::{
-    Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, Roles, System,
-    Value, WritePort,
+    Env, HelpDemand, HelpShard, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory,
+    Result, Roles, System, Value, WritePort,
 };
 use byzreg_spec::registers::{AuthInv, AuthResp};
 
@@ -152,6 +152,9 @@ pub struct AuthenticatedRegister<V: Ord> {
     v0: V,
     shared: SharedPorts<V>,
     endpoints: Endpoints<ProcessPorts<V>>,
+    /// `Some` when hosted on a demand-driven help shard (keyed-store
+    /// installs); reader handles begin demand around their quorum rounds.
+    demand: Option<HelpDemand>,
     log: HistoryLog<AuthInv<V>, AuthResp<V>>,
 }
 
@@ -175,7 +178,7 @@ impl<V: Value> AuthenticatedRegister<V> {
     /// Panics if `n <= 3f`.
     pub fn install_for_writer(system: &System, v0: V, writer: ProcessId) -> Self {
         let roles = Roles::with_writer(system.env().n(), writer);
-        Self::install_impl(system, v0, &LocalFactory, roles)
+        Self::install_impl(system, v0, &LocalFactory, roles, None)
     }
 
     /// Like [`AuthenticatedRegister::install`], but sourcing base registers
@@ -186,10 +189,35 @@ impl<V: Value> AuthenticatedRegister<V> {
     /// Panics if `n <= 3f`.
     pub fn install_with<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self {
         let roles = Roles::identity(system.env().n());
-        Self::install_impl(system, v0, factory, roles)
+        Self::install_impl(system, v0, factory, roles, None)
     }
 
-    fn install_impl<F: RegisterFactory>(system: &System, v0: V, factory: &F, roles: Roles) -> Self {
+    /// Like [`AuthenticatedRegister::install_with`], but hosts the
+    /// instance's `Help()` tasks on the demand-driven help shard `shard`
+    /// (see `byzreg_runtime::HelpShard`): helpers tick only while one of
+    /// this instance's quorum operations is in flight. Used by the keyed
+    /// store, which partitions its keys' helping by store shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    pub fn install_in_shard<F: RegisterFactory>(
+        system: &System,
+        v0: V,
+        factory: &F,
+        shard: &HelpShard,
+    ) -> Self {
+        let roles = Roles::identity(system.env().n());
+        Self::install_impl(system, v0, factory, roles, Some(shard))
+    }
+
+    fn install_impl<F: RegisterFactory>(
+        system: &System,
+        v0: V,
+        factory: &F,
+        roles: Roles,
+        shard: Option<&HelpShard>,
+    ) -> Self {
         let env = system.env().clone();
         env.require_n_gt_3f();
         let n = env.n();
@@ -222,6 +250,7 @@ impl<V: Value> AuthenticatedRegister<V> {
             askers: fabric.asker_ports(),
         };
 
+        let demand = shard.map(HelpShard::new_demand);
         for j in 1..=n {
             let task = HelpTask2 {
                 env: env.clone(),
@@ -231,7 +260,12 @@ impl<V: Value> AuthenticatedRegister<V> {
                 replies_w: fabric.reply_row(j),
                 tracker: AskerTracker::new(n - 1),
             };
-            system.add_help_task(roles.actual(j), Box::new(task));
+            match (shard, &demand) {
+                (Some(s), Some(d)) => {
+                    system.add_sharded_help_task(s, roles.actual(j), d, Box::new(task));
+                }
+                _ => system.add_help_task(roles.actual(j), Box::new(task)),
+            }
         }
 
         let mut endpoints = Vec::with_capacity(n);
@@ -250,6 +284,7 @@ impl<V: Value> AuthenticatedRegister<V> {
             v0,
             shared,
             endpoints: Endpoints::new(endpoints),
+            demand,
             log: HistoryLog::new(env.clock()),
         }
     }
@@ -318,6 +353,7 @@ impl<V: Value> AuthenticatedRegister<V> {
             ck_w: ports.asker_w.expect("reader ports"),
             reply_column: self.shared.reply_column(role),
             r1: self.shared.r1.clone(),
+            demand: self.demand.clone(),
             log: self.log.clone(),
         }
     }
@@ -417,6 +453,7 @@ pub struct AuthenticatedReader<V: Ord> {
     ck_w: WritePort<u64>,
     reply_column: Vec<ReadPort<Reply<V>>>,
     r1: ReadPort<WriterRecord<V>>,
+    demand: Option<HelpDemand>,
     log: HistoryLog<AuthInv<V>, AuthResp<V>>,
 }
 
@@ -437,6 +474,9 @@ impl<V: Value> AuthenticatedReader<V> {
     /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
     pub fn read(&mut self) -> Result<V> {
         self.env.check_running()?;
+        // The internal Verify(−) of line 7 runs quorum rounds: keep the
+        // instance's help shard awake for the whole read.
+        let _help = self.demand.as_ref().map(HelpDemand::begin);
         let op = self.log.invoke(self.pid, AuthInv::Read);
         let value = self.env.run_as(self.pid, || -> Result<V> {
             let r = self.r1.read(); // line 4: r <- R1
@@ -463,6 +503,7 @@ impl<V: Value> AuthenticatedReader<V> {
     /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
     pub fn verify(&mut self, v: &V) -> Result<bool> {
         self.env.check_running()?;
+        let _help = self.demand.as_ref().map(HelpDemand::begin);
         let op = self.log.invoke(self.pid, AuthInv::Verify(v.clone()));
         let outcome = self
             .env
@@ -483,6 +524,7 @@ impl<V: Value> AuthenticatedReader<V> {
     /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
     pub fn verify_many(&mut self, vs: &[V]) -> Result<Vec<bool>> {
         self.env.check_running()?;
+        let _help = self.demand.as_ref().map(HelpDemand::begin);
         let ops: Vec<_> =
             vs.iter().map(|v| self.log.invoke(self.pid, AuthInv::Verify(v.clone()))).collect();
         let outcomes = self.env.run_as(self.pid, || {
@@ -501,7 +543,11 @@ impl<V: Value> AuthenticatedReader<V> {
     /// authorizes taking them.
     #[must_use]
     pub fn engine_parts(&self) -> EngineParts<V> {
-        EngineParts { ck: self.ck_w.clone(), replies: self.reply_column.clone() }
+        EngineParts {
+            ck: self.ck_w.clone(),
+            replies: self.reply_column.clone(),
+            demand: self.demand.clone(),
+        }
     }
 }
 

@@ -20,7 +20,10 @@
 
 use std::collections::BTreeSet;
 
-use byzreg_runtime::{Env, ProcessId, ReadPort, RegisterFactory, Result, Roles, Value, WritePort};
+use byzreg_runtime::{
+    Env, HelpDemand, HelpDemandGuard, ProcessId, ReadPort, RegisterFactory, Result, Roles, Value,
+    WritePort,
+};
 
 use parking_lot::Mutex;
 
@@ -294,6 +297,12 @@ pub struct EngineParts<V: Value> {
     /// The reader's reply column `R_{j,k}` of this instance, one port per
     /// process `p_j`.
     pub replies: Vec<ReadPort<Reply<V>>>,
+    /// The instance's help-shard demand handle, when the instance is hosted
+    /// on a demand-driven shard (keyed-store installs): a fused run begins
+    /// demand on every touched instance so the right shards' engines wake
+    /// and keep ticking while the batch has pending rounds. `None` for
+    /// instances on the unsharded always-on engines.
+    pub demand: Option<HelpDemand>,
 }
 
 /// One register instance's slice of a cross-instance batched `Verify`.
@@ -335,6 +344,12 @@ pub fn verify_quorum_groups<V: Value>(
 ) -> Result<Vec<Vec<bool>>> {
     let n = env.n();
     let f = env.f();
+
+    // Signal "this batch has pending rounds" to every touched instance's
+    // help shard for the whole run: demand-driven shard engines tick the
+    // touched keys' help tasks exactly while these guards are held.
+    let _demand: Vec<HelpDemandGuard> =
+        groups.iter().filter_map(|g| g.parts.demand.as_ref().map(HelpDemand::begin)).collect();
 
     struct GroupState {
         set1: Vec<Vec<bool>>,
@@ -832,7 +847,7 @@ mod tests {
                     .1
             })
             .collect();
-        let parts = EngineParts { ck: ck_w, replies };
+        let parts = EngineParts { ck: ck_w, replies, demand: None };
         (VerifyGroup { parts, vs: vs.to_vec() }, ck_r)
     }
 
@@ -887,7 +902,8 @@ mod tests {
             })
             .collect();
         sys.shutdown();
-        let groups = [VerifyGroup { parts: EngineParts { ck: ck_w, replies }, vs: vec![7] }];
+        let groups =
+            [VerifyGroup { parts: EngineParts { ck: ck_w, replies, demand: None }, vs: vec![7] }];
         assert!(verify_quorum_groups(&env, &groups).is_err());
     }
 

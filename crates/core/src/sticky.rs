@@ -37,8 +37,8 @@
 //! ```
 
 use byzreg_runtime::{
-    Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, Roles, System,
-    Value, WritePort,
+    Env, HelpDemand, HelpShard, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory,
+    Result, Roles, System, Value, WritePort,
 };
 use byzreg_spec::registers::{StickyInv, StickyResp};
 
@@ -110,6 +110,10 @@ pub struct StickyRegister<V> {
     roles: Roles,
     shared: SharedPorts<V>,
     endpoints: Endpoints<ProcessPorts<V>>,
+    /// `Some` when hosted on a demand-driven help shard (keyed-store
+    /// installs). Both handles use it: the reader's quorum `Read` *and*
+    /// the writer's witness wait (lines 3–5) depend on helpers running.
+    demand: Option<HelpDemand>,
     log: HistoryLog<StickyInv<V>, StickyResp<V>>,
 }
 
@@ -132,7 +136,7 @@ impl<V: Value> StickyRegister<V> {
     /// Panics if `n <= 3f`.
     pub fn install_for_writer(system: &System, writer: ProcessId) -> Self {
         let roles = Roles::with_writer(system.env().n(), writer);
-        Self::install_impl(system, &LocalFactory, roles)
+        Self::install_impl(system, &LocalFactory, roles, None)
     }
 
     /// Like [`StickyRegister::install`], but sourcing base registers from
@@ -143,10 +147,34 @@ impl<V: Value> StickyRegister<V> {
     /// Panics if `n <= 3f`.
     pub fn install_with<F: RegisterFactory>(system: &System, factory: &F) -> Self {
         let roles = Roles::identity(system.env().n());
-        Self::install_impl(system, factory, roles)
+        Self::install_impl(system, factory, roles, None)
     }
 
-    fn install_impl<F: RegisterFactory>(system: &System, factory: &F, roles: Roles) -> Self {
+    /// Like [`StickyRegister::install_with`], but hosts the instance's
+    /// `Help()` tasks on the demand-driven help shard `shard` (see
+    /// `byzreg_runtime::HelpShard`): helpers tick only while one of this
+    /// instance's operations — a quorum `Read` or a `Write` waiting for
+    /// its `n − f` witnesses — is in flight. Used by the keyed store,
+    /// which partitions its keys' helping by store shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    pub fn install_in_shard<F: RegisterFactory>(
+        system: &System,
+        factory: &F,
+        shard: &HelpShard,
+    ) -> Self {
+        let roles = Roles::identity(system.env().n());
+        Self::install_impl(system, factory, roles, Some(shard))
+    }
+
+    fn install_impl<F: RegisterFactory>(
+        system: &System,
+        factory: &F,
+        roles: Roles,
+        shard: Option<&HelpShard>,
+    ) -> Self {
         let env = system.env().clone();
         env.require_n_gt_3f();
         let n = env.n();
@@ -176,6 +204,7 @@ impl<V: Value> StickyRegister<V> {
             askers: fabric.asker_ports(),
         };
 
+        let demand = shard.map(HelpShard::new_demand);
         for j in 1..=n {
             let task = HelpTask3 {
                 env: env.clone(),
@@ -185,7 +214,12 @@ impl<V: Value> StickyRegister<V> {
                 replies_w: fabric.reply_row(j),
                 tracker: AskerTracker::new(n - 1),
             };
-            system.add_help_task(roles.actual(j), Box::new(task));
+            match (shard, &demand) {
+                (Some(s), Some(d)) => {
+                    system.add_sharded_help_task(s, roles.actual(j), d, Box::new(task));
+                }
+                _ => system.add_help_task(roles.actual(j), Box::new(task)),
+            }
         }
 
         let mut endpoints = Vec::with_capacity(n);
@@ -203,6 +237,7 @@ impl<V: Value> StickyRegister<V> {
             roles,
             shared,
             endpoints: Endpoints::new(endpoints),
+            demand,
             log: HistoryLog::new(env.clock()),
         }
     }
@@ -244,6 +279,7 @@ impl<V: Value> StickyRegister<V> {
             pid,
             e1_w: ports.echo_w,
             witness: self.shared.witness.clone(),
+            demand: self.demand.clone(),
             log: self.log.clone(),
         }
     }
@@ -264,6 +300,7 @@ impl<V: Value> StickyRegister<V> {
             pid,
             ck_w: ports.asker_w.expect("reader ports"),
             reply_column: self.shared.reply_column(role),
+            demand: self.demand.clone(),
             log: self.log.clone(),
         }
     }
@@ -310,6 +347,7 @@ pub struct StickyWriter<V> {
     pid: ProcessId,
     e1_w: WritePort<Slot<V>>,
     witness: Vec<ReadPort<Slot<V>>>,
+    demand: Option<HelpDemand>,
     log: HistoryLog<StickyInv<V>, StickyResp<V>>,
 }
 
@@ -325,6 +363,9 @@ impl<V: Value> StickyWriter<V> {
     /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
     pub fn write(&mut self, v: V) -> Result<()> {
         self.env.check_running()?;
+        // The witness wait of lines 3-5 terminates only through the help
+        // tasks' echo/witness stages: keep the shard awake for the write.
+        let _help = self.demand.as_ref().map(HelpDemand::begin);
         let op = self.log.invoke(self.pid, StickyInv::Write(v.clone()));
         let result = self.env.run_as(self.pid, || -> Result<()> {
             // Line 1: if E1 ≠ ⊥ then return done. Line 2: E1 <- v.
@@ -406,6 +447,7 @@ pub struct StickyReader<V> {
     pid: ProcessId,
     ck_w: WritePort<u64>,
     reply_column: Vec<ReadPort<Reply<V>>>,
+    demand: Option<HelpDemand>,
     log: HistoryLog<StickyInv<V>, StickyResp<V>>,
 }
 
@@ -423,6 +465,9 @@ impl<V: Value> StickyReader<V> {
     /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
     pub fn read(&mut self) -> Result<Slot<V>> {
         self.env.check_running()?;
+        // The quorum rounds of lines 7-22 need helpers: keep the shard
+        // awake for the read.
+        let _help = self.demand.as_ref().map(HelpDemand::begin);
         let op = self.log.invoke(self.pid, StickyInv::Read);
         let outcome = self.env.run_as(self.pid, || self.read_procedure())?;
         self.log.respond(op, self.pid, StickyResp::ReadValue(outcome.clone()));

@@ -38,8 +38,8 @@
 use std::collections::BTreeSet;
 
 use byzreg_runtime::{
-    Env, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory, Result, Roles, System,
-    Value, WritePort,
+    Env, HelpDemand, HelpShard, HistoryLog, LocalFactory, ProcessId, ReadPort, RegisterFactory,
+    Result, Roles, System, Value, WritePort,
 };
 use byzreg_spec::registers::{VerInv, VerResp};
 
@@ -123,6 +123,9 @@ pub struct VerifiableRegister<V> {
     v0: V,
     shared: SharedPorts<V>,
     endpoints: Endpoints<ProcessPorts<V>>,
+    /// `Some` when hosted on a demand-driven help shard (keyed-store
+    /// installs); reader handles begin demand around their quorum rounds.
+    demand: Option<HelpDemand>,
     log: HistoryLog<VerInv<V>, VerResp<V>>,
 }
 
@@ -146,6 +149,34 @@ impl<V: Value> VerifiableRegister<V> {
     ///
     /// Panics if `n <= 3f`.
     pub fn install_with<F: RegisterFactory>(system: &System, v0: V, factory: &F) -> Self {
+        Self::install_impl(system, v0, factory, None)
+    }
+
+    /// Like [`VerifiableRegister::install_with`], but hosts the instance's
+    /// `Help()` tasks on the demand-driven help shard `shard` instead of
+    /// the per-process always-on engines: helpers tick only while one of
+    /// this instance's quorum operations is in flight, and the shard's
+    /// engine parks otherwise. Used by the keyed store, which partitions
+    /// its keys' helping by store shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f`.
+    pub fn install_in_shard<F: RegisterFactory>(
+        system: &System,
+        v0: V,
+        factory: &F,
+        shard: &HelpShard,
+    ) -> Self {
+        Self::install_impl(system, v0, factory, Some(shard))
+    }
+
+    fn install_impl<F: RegisterFactory>(
+        system: &System,
+        v0: V,
+        factory: &F,
+        shard: Option<&HelpShard>,
+    ) -> Self {
         let env = system.env().clone();
         env.require_n_gt_3f();
         let n = env.n();
@@ -176,7 +207,9 @@ impl<V: Value> VerifiableRegister<V> {
         };
 
         // Attach Help() to every correct process (System drops tasks for
-        // declared-Byzantine pids).
+        // declared-Byzantine pids) — on the given help shard, demand-gated,
+        // or on the always-on per-process engines.
+        let demand = shard.map(HelpShard::new_demand);
         for j in 1..=n {
             let task = HelpTask1 {
                 env: env.clone(),
@@ -185,7 +218,12 @@ impl<V: Value> VerifiableRegister<V> {
                 replies_w: fabric.reply_row(j),
                 tracker: AskerTracker::new(n - 1),
             };
-            system.add_help_task(ProcessId::new(j), Box::new(task));
+            match (shard, &demand) {
+                (Some(s), Some(d)) => {
+                    system.add_sharded_help_task(s, ProcessId::new(j), d, Box::new(task));
+                }
+                _ => system.add_help_task(ProcessId::new(j), Box::new(task)),
+            }
         }
 
         // Per-process port bundles for handles / adversaries.
@@ -204,6 +242,7 @@ impl<V: Value> VerifiableRegister<V> {
             v0,
             shared,
             endpoints: Endpoints::new(endpoints),
+            demand,
             log: HistoryLog::new(env.clock()),
         }
     }
@@ -267,6 +306,7 @@ impl<V: Value> VerifiableRegister<V> {
             ck_w: ports.asker_w.expect("reader ports"),
             reply_column: self.shared.reply_column(pid),
             r_star: self.shared.r_star.clone(),
+            demand: self.demand.clone(),
             log: self.log.clone(),
         }
     }
@@ -377,6 +417,7 @@ pub struct VerifiableReader<V> {
     ck_w: WritePort<u64>,
     reply_column: Vec<ReadPort<Reply<V>>>,
     r_star: ReadPort<V>,
+    demand: Option<HelpDemand>,
     log: HistoryLog<VerInv<V>, VerResp<V>>,
 }
 
@@ -407,6 +448,8 @@ impl<V: Value> VerifiableReader<V> {
     /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
     pub fn verify(&mut self, v: &V) -> Result<bool> {
         self.env.check_running()?;
+        // Keep the instance's help shard awake for the quorum rounds.
+        let _help = self.demand.as_ref().map(HelpDemand::begin);
         let op = self.log.invoke(self.pid, VerInv::Verify(v.clone()));
         let outcome = self
             .env
@@ -427,6 +470,7 @@ impl<V: Value> VerifiableReader<V> {
     /// [`byzreg_runtime::Error::Shutdown`] if the system is shutting down.
     pub fn verify_many(&mut self, vs: &[V]) -> Result<Vec<bool>> {
         self.env.check_running()?;
+        let _help = self.demand.as_ref().map(HelpDemand::begin);
         let ops: Vec<_> =
             vs.iter().map(|v| self.log.invoke(self.pid, VerInv::Verify(v.clone()))).collect();
         let outcomes = self.env.run_as(self.pid, || {
@@ -445,7 +489,11 @@ impl<V: Value> VerifiableReader<V> {
     /// authorizes taking them.
     #[must_use]
     pub fn engine_parts(&self) -> EngineParts<V> {
-        EngineParts { ck: self.ck_w.clone(), replies: self.reply_column.clone() }
+        EngineParts {
+            ck: self.ck_w.clone(),
+            replies: self.reply_column.clone(),
+            demand: self.demand.clone(),
+        }
     }
 }
 

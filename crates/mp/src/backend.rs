@@ -18,6 +18,8 @@
 //! Declared-Byzantine processes get no protocol client; adversaries attack
 //! at the message level via [`MpRegister::byzantine_endpoint`].
 
+use std::cell::Cell;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -29,7 +31,15 @@ use byzreg_runtime::{
 
 use crate::net::NetConfig;
 use crate::reactor::Reactor;
-use crate::swmr::{MpClient, MpConfig, MpRegister};
+use crate::swmr::{MpClient, MpConfig, MpRegister, RegisterGroup};
+
+thread_local! {
+    /// The co-scheduling group label opened on this thread via
+    /// `RegisterFactory::open_group`, if any. Thread-local because group
+    /// scopes are lexical in the caller (the store opens one around each
+    /// key install, under that key's shard lock).
+    static CURRENT_GROUP: Cell<Option<u64>> = const { Cell::new(None) };
+}
 
 struct MpCell<T: Value> {
     owner: ProcessId,
@@ -104,6 +114,10 @@ pub struct MpFactory {
     net: NetConfig,
     reactor: Arc<Reactor>,
     registers: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
+    /// Co-scheduling groups by label (see `RegisterFactory::open_group`):
+    /// all registers created under one label share one [`RegisterGroup`]
+    /// host task, so their wake-ups coalesce.
+    groups: Mutex<HashMap<u64, RegisterGroup>>,
 }
 
 impl MpFactory {
@@ -127,6 +141,7 @@ impl MpFactory {
             net,
             reactor: Arc::new(Reactor::new(workers)),
             registers: Mutex::new(Vec::new()),
+            groups: Mutex::new(HashMap::new()),
         }
     }
 
@@ -134,6 +149,13 @@ impl MpFactory {
     #[must_use]
     pub fn spawned(&self) -> usize {
         self.registers.lock().len()
+    }
+
+    /// Number of co-scheduling groups created so far (one per distinct
+    /// `open_group` label that saw a register creation).
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.lock().len()
     }
 
     /// Number of reactor worker threads serving every spawned register.
@@ -180,7 +202,18 @@ impl RegisterFactory for MpFactory {
             byzantine: env.faulty(),
             trace: false,
         };
-        let reg = MpRegister::spawn_on(&self.reactor, &config, init);
+        let reg = match CURRENT_GROUP.with(Cell::get) {
+            Some(label) => {
+                let group = self
+                    .groups
+                    .lock()
+                    .entry(label)
+                    .or_insert_with(|| RegisterGroup::new(&self.reactor))
+                    .clone();
+                MpRegister::spawn_in_group(&group, &config, init)
+            }
+            None => MpRegister::spawn_on(&self.reactor, &config, init),
+        };
         let clients: Vec<Option<MpClient<T>>> = (1..=env.n())
             .map(|i| {
                 let pid = ProcessId::new(i);
@@ -190,6 +223,14 @@ impl RegisterFactory for MpFactory {
         let cell = MpCell { owner, clients, owner_lock: Mutex::new(()) };
         self.registers.lock().push(Box::new(reg));
         custom_swmr(env.gate(), owner, name, Box::new(cell))
+    }
+
+    fn open_group(&self, label: u64) {
+        CURRENT_GROUP.with(|g| g.set(Some(label)));
+    }
+
+    fn close_group(&self) {
+        CURRENT_GROUP.with(|g| g.set(None));
     }
 }
 
@@ -218,6 +259,50 @@ mod tests {
         w.update(|v| v.push(1));
         w.update(|v| v.push(2));
         assert_eq!(r.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn open_group_coalesces_registers_into_shared_host_tasks() {
+        let sys = System::builder(4).build();
+        let factory = MpFactory::with_workers(NetConfig::instant(), 2);
+        factory.open_group(7);
+        let a = factory.create(sys.env(), ProcessId::new(1), "A".into(), 0u32);
+        let b = factory.create(sys.env(), ProcessId::new(1), "B".into(), 0u32);
+        factory.close_group();
+        let c = factory.create(sys.env(), ProcessId::new(1), "C".into(), 0u32);
+        factory.open_group(8);
+        let d = factory.create(sys.env(), ProcessId::new(1), "D".into(), 0u32);
+        factory.close_group();
+        assert_eq!(factory.spawned(), 4);
+        assert_eq!(factory.group_count(), 2, "labels 7 and 8; C was created ungrouped");
+        for (i, (w, r)) in [a, b, c, d].into_iter().enumerate() {
+            w.write(i as u32 + 1);
+            assert_eq!(r.read(), i as u32 + 1, "register {i} works wherever it is hosted");
+        }
+    }
+
+    #[test]
+    fn group_labels_are_thread_local() {
+        // A group opened on one thread must not capture registers created
+        // concurrently on another (the store installs under per-shard
+        // locks, each thread with its own scope).
+        let sys = System::builder(4).build();
+        let factory = Arc::new(MpFactory::with_workers(NetConfig::instant(), 2));
+        factory.open_group(1);
+        let f2 = Arc::clone(&factory);
+        let env = sys.env().clone();
+        let t = std::thread::spawn(move || {
+            // No open_group on this thread: ungrouped.
+            let (w, r) = f2.create(&env, ProcessId::new(1), "other".into(), 0u32);
+            w.write(5);
+            assert_eq!(r.read(), 5);
+        });
+        let (w, r) = factory.create(sys.env(), ProcessId::new(1), "mine".into(), 0u32);
+        factory.close_group();
+        t.join().unwrap();
+        w.write(9);
+        assert_eq!(r.read(), 9);
+        assert_eq!(factory.group_count(), 1, "only the opening thread's register joined");
     }
 
     #[test]

@@ -41,8 +41,6 @@
 //! `n` OS threads per register.
 
 #![forbid(unsafe_code)]
-// Thresholds are written exactly as in the paper (`>= f + 1`, `>= n - f`).
-#![allow(clippy::int_plus_one)]
 #![warn(missing_docs)]
 
 pub mod backend;
@@ -53,4 +51,4 @@ pub mod swmr;
 pub use backend::MpFactory;
 pub use net::{network, DeliverySchedule, Endpoint, NetConfig};
 pub use reactor::{Reactor, ReactorTask, TaskId};
-pub use swmr::{MpClient, MpConfig, MpRegister, Msg, NodeStateMachine};
+pub use swmr::{MpClient, MpConfig, MpRegister, Msg, NodeStateMachine, RegisterGroup};

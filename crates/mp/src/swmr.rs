@@ -41,6 +41,7 @@
 //! this.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -198,7 +199,10 @@ impl<V: Value> NodeStateMachine<V> for Node<V> {
                     return;
                 }
                 let count = set.len();
-                if count >= self.f + 1 && !self.echoed.contains_key(&sn) {
+                // Bracha amplification / validation thresholds, as in the
+                // paper: `f + 1` matching echoes amplify, `n − f` validate.
+                let amplify = self.f + 1;
+                if count >= amplify && !self.echoed.contains_key(&sn) {
                     self.echoed.insert(sn, v.clone());
                     self.ep.broadcast(Msg::Echo { sn, v: v.clone() });
                 }
@@ -211,7 +215,9 @@ impl<V: Value> NodeStateMachine<V> for Node<V> {
                 if !set.insert(from) {
                     return;
                 }
-                if set.len() >= self.f + 1 && !self.validated.contains(&sn) {
+                // `f + 1` VALIDs contain one correct validator (totality).
+                let amplify = self.f + 1;
+                if set.len() >= amplify && !self.validated.contains(&sn) {
                     self.validate(sn, v);
                 }
             }
@@ -274,10 +280,11 @@ fn decide_read<V: Value>(
 ) -> Option<(u64, V)> {
     // best = max sn with >= f+1 reporters at ts >= sn (0 is always genuine).
     let mut best = 0u64;
+    let genuine = f + 1;
     for (ts, _) in reports.values() {
         if *ts > best {
             let support = reports.values().filter(|(t, _)| t >= ts).count();
-            if support >= f + 1 {
+            if support >= genuine {
                 best = *ts;
             }
         }
@@ -334,6 +341,103 @@ impl<V: Value> ReactorTask for RegisterTask<V> {
     }
 }
 
+/// One grouped register's shared slot: the hosting [`RegisterGroup`] drains
+/// the task while present; the register's shutdown takes it out.
+type GroupSlot = Arc<parking_lot::Mutex<Option<Box<dyn ReactorTask>>>>;
+
+#[derive(Clone)]
+struct GroupMember {
+    slot: GroupSlot,
+    /// Edge-triggered dedup flag: set by the member's wake hook when it
+    /// enqueues the member on the group's ready list, cleared by the host
+    /// just before draining the member — input arriving mid-drain re-sets
+    /// it and re-enqueues, so nothing is lost (mirrors the reactor's
+    /// per-task `queued` flag, one level down).
+    pending: Arc<AtomicBool>,
+}
+
+struct GroupShared {
+    members: parking_lot::Mutex<Vec<GroupMember>>,
+    /// Indices of members with pending input, in wake order. The host
+    /// drains exactly these — a dispatch costs the *pending* members, not
+    /// a sweep of the whole (possibly thousands-large) group.
+    ready: parking_lot::Mutex<VecDeque<usize>>,
+}
+
+/// The host task of a [`RegisterGroup`]: one run drains every member on
+/// the ready list. Members' networks are disjoint, so draining each to
+/// quiescence once is enough — no cross-member cascade exists.
+struct GroupHostTask {
+    shared: Arc<GroupShared>,
+}
+
+impl ReactorTask for GroupHostTask {
+    fn run(&mut self) {
+        loop {
+            let Some(i) = self.shared.ready.lock().pop_front() else { return };
+            let member = self.shared.members.lock()[i].clone();
+            // Clear the flag *before* draining: input arriving mid-drain
+            // re-enqueues the member instead of being lost.
+            member.pending.store(false, Ordering::Release);
+            let mut slot = member.slot.lock();
+            if let Some(task) = slot.as_mut() {
+                task.run();
+            }
+        }
+    }
+}
+
+/// A co-scheduling group of emulated registers: every member is hosted on
+/// **one** reactor task, so one dispatch drains all members with pending
+/// input. A keyed store puts all base registers of one help shard's keys in
+/// one group — a fused cross-key verify batch then wakes one task per
+/// touched shard instead of one per base register, amortizing scheduler
+/// wake-ups across the batch.
+///
+/// Members enqueue themselves on a deduped ready list, so a group of
+/// thousands of quiet registers adds nothing to a dispatch's cost.
+#[derive(Clone)]
+pub struct RegisterGroup {
+    reactor: Arc<Reactor>,
+    task: TaskId,
+    shared: Arc<GroupShared>,
+}
+
+impl RegisterGroup {
+    /// Creates an empty group hosted on `reactor`.
+    #[must_use]
+    pub fn new(reactor: &Arc<Reactor>) -> Self {
+        let shared = Arc::new(GroupShared {
+            members: parking_lot::Mutex::new(Vec::new()),
+            ready: parking_lot::Mutex::new(VecDeque::new()),
+        });
+        let task = reactor.register(Box::new(GroupHostTask { shared: Arc::clone(&shared) }));
+        RegisterGroup { reactor: Arc::clone(reactor), task, shared }
+    }
+
+    /// Number of registers spawned into this group (including shut-down
+    /// ones, whose slots stay until the group drops).
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.shared.members.lock().len()
+    }
+}
+
+impl std::fmt::Debug for RegisterGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RegisterGroup({} members)", self.member_count())
+    }
+}
+
+/// The pieces of one emulated register before it is handed to a scheduler
+/// (standalone task or group member).
+struct BuiltRegister<V: Value> {
+    task: RegisterTask<V>,
+    cmd_tx: Vec<Option<Sender<Cmd<V>>>>,
+    byz_eps: Vec<Option<Endpoint<Msg<V>>>>,
+    net: Arc<Net<Msg<V>>>,
+}
+
 /// Configuration of one emulated register.
 #[derive(Clone, Debug)]
 pub struct MpConfig {
@@ -383,6 +487,9 @@ pub struct MpRegister<V: Value> {
     /// `true` when `spawn` created a private reactor that `shutdown` owns.
     owns_reactor: bool,
     task: TaskId,
+    /// `Some` for grouped registers: `task` is the group's host task, and
+    /// shutdown empties this slot instead of removing the shared task.
+    group_slot: Option<GroupSlot>,
     wake: Arc<dyn Fn() + Send + Sync>,
     n: usize,
 }
@@ -410,6 +517,69 @@ impl<V: Value> MpRegister<V> {
     /// Panics if `n <= 3f` (see [`MpRegister::spawn`]).
     #[must_use]
     pub fn spawn_on(reactor: &Arc<Reactor>, config: &MpConfig, v0: V) -> Self {
+        let BuiltRegister { task, cmd_tx, byz_eps, net } = Self::build(config, v0);
+        let id = reactor.register(Box::new(task));
+        let wake = reactor.waker(id);
+        net.set_wake(Arc::clone(&wake));
+        MpRegister {
+            writer: config.writer,
+            cmd_tx,
+            byz_eps: parking_lot::Mutex::new(byz_eps),
+            net,
+            reactor: Arc::clone(reactor),
+            owns_reactor: false,
+            task: id,
+            group_slot: None,
+            wake,
+            n: config.n,
+        }
+    }
+
+    /// Spawns the register as one **member** of `group`: its events are
+    /// drained by the group's shared host task instead of a dedicated one,
+    /// so wake-ups of same-group registers coalesce into single dispatches
+    /// (see [`RegisterGroup`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 3f` (see [`MpRegister::spawn`]).
+    #[must_use]
+    pub fn spawn_in_group(group: &RegisterGroup, config: &MpConfig, v0: V) -> Self {
+        let BuiltRegister { task, cmd_tx, byz_eps, net } = Self::build(config, v0);
+        let slot: GroupSlot =
+            Arc::new(parking_lot::Mutex::new(Some(Box::new(task) as Box<dyn ReactorTask>)));
+        let pending = Arc::new(AtomicBool::new(false));
+        let index = {
+            let mut members = group.shared.members.lock();
+            members.push(GroupMember { slot: Arc::clone(&slot), pending: Arc::clone(&pending) });
+            members.len() - 1
+        };
+        let shared = Arc::clone(&group.shared);
+        let host_wake = group.reactor.waker(group.task);
+        let wake: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+            if !pending.swap(true, Ordering::AcqRel) {
+                shared.ready.lock().push_back(index);
+            }
+            host_wake();
+        });
+        net.set_wake(Arc::clone(&wake));
+        MpRegister {
+            writer: config.writer,
+            cmd_tx,
+            byz_eps: parking_lot::Mutex::new(byz_eps),
+            net,
+            reactor: Arc::clone(&group.reactor),
+            owns_reactor: false,
+            task: group.task,
+            group_slot: Some(slot),
+            wake,
+            n: config.n,
+        }
+    }
+
+    /// Builds the register's nodes, network, and reactor task (shared by
+    /// the standalone and grouped spawn paths).
+    fn build(config: &MpConfig, v0: V) -> BuiltRegister<V> {
         assert!(config.n > 3 * config.f, "the MP emulation requires n > 3f");
         let net = Net::<Msg<V>>::new(config.n, config.net, config.trace);
         let mut cmd_tx = Vec::with_capacity(config.n);
@@ -451,25 +621,8 @@ impl<V: Value> MpRegister<V> {
                 read_op: None,
             }));
         }
-        let task = reactor.register(Box::new(RegisterTask {
-            net: Arc::clone(&net),
-            nodes,
-            cmds,
-            managed,
-        }));
-        let wake = reactor.waker(task);
-        net.set_wake(Arc::clone(&wake));
-        MpRegister {
-            writer: config.writer,
-            cmd_tx,
-            byz_eps: parking_lot::Mutex::new(byz_eps),
-            net,
-            reactor: Arc::clone(reactor),
-            owns_reactor: false,
-            task,
-            wake,
-            n: config.n,
-        }
+        let task = RegisterTask { net: Arc::clone(&net), nodes, cmds, managed };
+        BuiltRegister { task, cmd_tx, byz_eps, net }
     }
 
     /// A client handle for process `pid` (any correct process; `p1` may
@@ -511,11 +664,17 @@ impl<V: Value> MpRegister<V> {
         self.net.trace()
     }
 
-    /// Removes the register's task from its reactor (clients panic on
-    /// further use, as when the node threads of the old design were
-    /// stopped). Idempotent; also invoked by `Drop`.
+    /// Removes the register's task from its scheduler — its own reactor
+    /// task, or just its slot within the hosting [`RegisterGroup`]
+    /// (clients panic on further use, as when the node threads of the old
+    /// design were stopped). Idempotent; also invoked by `Drop`.
     pub fn shutdown(&self) {
-        self.reactor.remove(self.task);
+        match &self.group_slot {
+            Some(slot) => {
+                slot.lock().take();
+            }
+            None => self.reactor.remove(self.task),
+        }
         if self.owns_reactor {
             self.reactor.shutdown();
         }
@@ -706,6 +865,76 @@ mod tests {
         for reg in &regs {
             reg.shutdown();
         }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn grouped_registers_share_one_host_task() {
+        // 32 registers in one group: every event drain goes through the
+        // group's single reactor task, and all registers stay correct.
+        let reactor = Arc::new(Reactor::new(2));
+        let group = RegisterGroup::new(&reactor);
+        let regs: Vec<MpRegister<u32>> =
+            (0..32).map(|_| MpRegister::spawn_in_group(&group, &MpConfig::new(4), 0)).collect();
+        assert_eq!(group.member_count(), 32);
+        for (i, reg) in regs.iter().enumerate() {
+            reg.client(ProcessId::new(1)).write(i as u32);
+        }
+        for (i, reg) in regs.iter().enumerate() {
+            assert_eq!(reg.client(ProcessId::new(2)).read(), (1, i as u32));
+        }
+        for reg in &regs {
+            reg.shutdown();
+        }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn group_dispatches_amortize_across_members() {
+        // Burst-wake many members of one group: the dedup flags collapse
+        // the wake storm into far fewer host-task dispatches than the
+        // one-task-per-register design would need (one per member write).
+        let reactor = Arc::new(Reactor::new(1));
+        let group = RegisterGroup::new(&reactor);
+        let regs: Vec<MpRegister<u32>> =
+            (0..16).map(|_| MpRegister::spawn_in_group(&group, &MpConfig::new(4), 0)).collect();
+        // Let setup traffic settle, then measure a burst.
+        while reactor.idle_workers() == 0 {
+            std::thread::yield_now();
+        }
+        let before = reactor.dispatches();
+        let writers: Vec<_> = regs.iter().map(|r| r.client(ProcessId::new(1))).collect();
+        std::thread::scope(|s| {
+            for (i, w) in writers.iter().enumerate() {
+                s.spawn(move || w.write(i as u32 + 1));
+            }
+        });
+        let spent = reactor.dispatches() - before;
+        assert!(
+            spent < 16 * 4,
+            "16 concurrent grouped writes took {spent} dispatches; wake coalescing \
+             should keep this well under a per-register task design"
+        );
+        for (i, reg) in regs.iter().enumerate() {
+            assert_eq!(reg.client(ProcessId::new(3)).read(), (1, i as u32 + 1));
+        }
+        for reg in &regs {
+            reg.shutdown();
+        }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn shutting_down_one_group_member_leaves_the_rest_live() {
+        let reactor = Arc::new(Reactor::new(1));
+        let group = RegisterGroup::new(&reactor);
+        let a = MpRegister::spawn_in_group(&group, &MpConfig::new(4), 0u32);
+        let b = MpRegister::spawn_in_group(&group, &MpConfig::new(4), 0u32);
+        a.client(ProcessId::new(1)).write(7);
+        a.shutdown();
+        b.client(ProcessId::new(1)).write(9);
+        assert_eq!(b.client(ProcessId::new(2)).read(), (1, 9), "b survives a's shutdown");
+        b.shutdown();
         reactor.shutdown();
     }
 

@@ -24,6 +24,17 @@ pub trait RegisterFactory: Send + Sync {
         name: String,
         init: T,
     ) -> (WritePort<T>, ReadPort<T>);
+
+    /// Hints that registers created on this thread until
+    /// [`RegisterFactory::close_group`] belong to one co-scheduling group
+    /// `label` — e.g. all base registers of the keys in one store help
+    /// shard. Backends may use it to drain the group's events in a single
+    /// scheduler task run (as `byzreg-mp` does); the default ignores it.
+    fn open_group(&self, _label: u64) {}
+
+    /// Ends the group opened by [`RegisterFactory::open_group`] on this
+    /// thread. The default ignores it.
+    fn close_group(&self) {}
 }
 
 /// A shared reference to a factory is itself a factory, so long-lived
@@ -39,6 +50,14 @@ impl<F: RegisterFactory> RegisterFactory for &F {
     ) -> (WritePort<T>, ReadPort<T>) {
         (**self).create(env, owner, name, init)
     }
+
+    fn open_group(&self, label: u64) {
+        (**self).open_group(label);
+    }
+
+    fn close_group(&self) {
+        (**self).close_group();
+    }
 }
 
 /// `Arc`-shared factories, for components that must own their backend
@@ -52,6 +71,14 @@ impl<F: RegisterFactory> RegisterFactory for std::sync::Arc<F> {
         init: T,
     ) -> (WritePort<T>, ReadPort<T>) {
         (**self).create(env, owner, name, init)
+    }
+
+    fn open_group(&self, label: u64) {
+        (**self).open_group(label);
+    }
+
+    fn close_group(&self) {
+        (**self).close_group();
     }
 }
 

@@ -3,22 +3,41 @@
 //!
 //! A [`System`] hosts any number of implemented objects (register instances,
 //! broadcast objects, …). Object constructors take the system's [`Env`] to
-//! create base registers and to attach per-process [`HelpTask`]s; the system
-//! multiplexes every correct process's help tasks onto one background thread
-//! per process, which matches the paper's model where each process
-//! continuously executes `Help()` "even when it is not currently performing
-//! any operation on the implemented register" (§5.2).
+//! create base registers and to attach per-process [`HelpTask`]s. Two help
+//! substrates exist:
 //!
-//! Byzantine processes do **not** run help tasks; instead an adversary
-//! behavior can be installed with [`System::spawn_byzantine`], which may
-//! write arbitrary values — but only through write ports that the faulty
-//! process legitimately owns.
+//! * **Unsharded engines** ([`System::add_help_task`]): every correct
+//!   process gets one background thread that ticks all of its attached
+//!   tasks continuously — the direct reading of the paper's model where
+//!   each process executes `Help()` "even when it is not currently
+//!   performing any operation on the implemented register" (§5.2).
+//!   Standalone register instances use this.
+//! * **Sharded, demand-driven engines** ([`System::new_help_shard`] +
+//!   [`System::add_sharded_help_task`]): tasks are partitioned into help
+//!   shards, each served by one engine thread that ticks only the tasks
+//!   whose [`HelpDemand`] has a pending quorum round and **parks** on a
+//!   wake counter otherwise (edge-triggered, like the MP reactor's dedup
+//!   flags). A keyed store registers each key's help tasks under the key's
+//!   shard, so background helping cost scales with the *active* keys of
+//!   the touched shards, not with every instantiated key. The paper's
+//!   continuous-`Help()` requirement is preserved per shard: a `Help()`
+//!   round with no pending asker is a no-op (Alg. 1 line 29, Alg. 2 line
+//!   28, Alg. 3 line 33), and every operation whose termination depends on
+//!   helpers holds a demand guard for its whole duration, so the shard's
+//!   engine keeps running exactly while helping can matter.
+//!
+//! Byzantine processes do **not** run help tasks (in either substrate);
+//! instead an adversary behavior can be installed with
+//! [`System::spawn_byzantine`], which may write arbitrary values — but only
+//! through write ports that the faulty process legitimately owns.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::error::{Error, Result};
 use crate::gate::{self, FreeGate, LockstepGate, Participation, StepGate};
@@ -38,6 +57,126 @@ pub trait HelpTask: Send + 'static {
 impl<F: FnMut() + Send + 'static> HelpTask for F {
     fn tick(&mut self) {
         self()
+    }
+}
+
+/// Wake state shared by one help shard's engine and every demand handle
+/// attached to the shard: a monotone epoch plus the condvar the engine
+/// parks on while the shard is quiet.
+struct ShardWake {
+    epoch: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ShardWake {
+    fn new() -> Self {
+        ShardWake { epoch: AtomicU64::new(0), lock: Mutex::new(()), cv: Condvar::new() }
+    }
+
+    /// Advances the epoch and wakes the shard's engine. The lock is taken
+    /// so a bump can never slip between the engine's epoch re-check and its
+    /// condvar wait (no lost wake-ups).
+    fn bump(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+        let _guard = self.lock.lock();
+        self.cv.notify_all();
+    }
+}
+
+struct DemandState {
+    pending: AtomicUsize,
+    wake: Arc<ShardWake>,
+}
+
+/// The demand handle of one object instance hosted on a help shard.
+///
+/// Operations whose termination depends on background helping (the §5.1
+/// quorum rounds, the sticky write's witness wait) call
+/// [`HelpDemand::begin`] for their duration; the shard's engine ticks a
+/// task only while its instance's demand is pending, and the whole shard
+/// parks once nothing is pending. This is sound because a `Help()` round
+/// with no pending asker takes no protocol-visible action (the early
+/// returns of Alg. 1 line 29 / Alg. 2 line 28 / Alg. 3 line 33): parking
+/// is indistinguishable from the engine ticking no-ops.
+#[derive(Clone)]
+pub struct HelpDemand {
+    state: Arc<DemandState>,
+}
+
+impl HelpDemand {
+    /// Marks a helper-dependent operation as in flight until the returned
+    /// guard drops, and wakes the shard's engine.
+    #[must_use]
+    pub fn begin(&self) -> HelpDemandGuard {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        self.state.wake.bump();
+        HelpDemandGuard { state: Arc::clone(&self.state) }
+    }
+
+    /// `true` while at least one helper-dependent operation is in flight.
+    #[must_use]
+    pub fn is_pending(&self) -> bool {
+        self.state.pending.load(Ordering::Acquire) > 0
+    }
+}
+
+impl std::fmt::Debug for HelpDemand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HelpDemand(pending = {})", self.state.pending.load(Ordering::Acquire))
+    }
+}
+
+/// RAII span of one helper-dependent operation (see [`HelpDemand::begin`]).
+pub struct HelpDemandGuard {
+    state: Arc<DemandState>,
+}
+
+impl Drop for HelpDemandGuard {
+    fn drop(&mut self) {
+        self.state.pending.fetch_sub(1, Ordering::AcqRel);
+        // Bump so an engine mid-sweep re-evaluates and can park promptly.
+        self.state.wake.bump();
+    }
+}
+
+/// A handle to one help shard of a [`System`].
+///
+/// Created with [`System::new_help_shard`]; cheap to clone. Object
+/// installers derive per-instance [`HelpDemand`]s from the shard and attach
+/// help tasks with [`System::add_sharded_help_task`]. All tasks of a shard
+/// share one engine thread, so the engine-thread budget of a keyed store
+/// is its shard count — independent of how many keys are instantiated.
+#[derive(Clone)]
+pub struct HelpShard {
+    id: usize,
+    wake: Arc<ShardWake>,
+}
+
+impl HelpShard {
+    /// The shard's system-wide id (also usable as a backend co-scheduling
+    /// label, cf. `RegisterFactory::open_group`).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Creates a demand handle for one object instance hosted on this
+    /// shard.
+    #[must_use]
+    pub fn new_demand(&self) -> HelpDemand {
+        HelpDemand {
+            state: Arc::new(DemandState {
+                pending: AtomicUsize::new(0),
+                wake: Arc::clone(&self.wake),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for HelpShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HelpShard({})", self.id)
     }
 }
 
@@ -273,6 +412,8 @@ impl SystemBuilder {
         System {
             env,
             engines: Mutex::new((0..self.n).map(|_| None).collect()),
+            shard_engines: Mutex::new(HashMap::new()),
+            next_shard: AtomicUsize::new(0),
             threads: Mutex::new(Vec::new()),
         }
     }
@@ -285,12 +426,30 @@ struct Engine {
     handle: Option<JoinHandle<()>>,
 }
 
+/// One task hosted on a shard engine: ticked as `pid`, but only while its
+/// instance's demand is pending.
+struct ShardSlot {
+    pid: ProcessId,
+    demand: HelpDemand,
+    task: Box<dyn HelpTask>,
+}
+
+type ShardTaskList = Arc<Mutex<Vec<ShardSlot>>>;
+
+struct ShardEngine {
+    wake: Arc<ShardWake>,
+    tasks: ShardTaskList,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// A running system of `n` processes.
 ///
 /// Dropping the system requests shutdown and joins all background threads.
 pub struct System {
     env: Env,
     engines: Mutex<Vec<Option<Engine>>>,
+    shard_engines: Mutex<HashMap<usize, ShardEngine>>,
+    next_shard: AtomicUsize,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -331,6 +490,69 @@ impl System {
                 *slot = Some(Engine { tasks, handle: Some(handle) });
             }
         }
+    }
+
+    /// Allocates a fresh help shard (see [`HelpShard`]).
+    ///
+    /// The shard's engine thread is spawned lazily on the first
+    /// [`System::add_sharded_help_task`]; a shard whose tasks were all
+    /// dropped (Byzantine pids) costs nothing.
+    #[must_use]
+    pub fn new_help_shard(&self) -> HelpShard {
+        HelpShard {
+            id: self.next_shard.fetch_add(1, Ordering::Relaxed),
+            wake: Arc::new(ShardWake::new()),
+        }
+    }
+
+    /// Attaches a demand-gated background help task of process `pid` to
+    /// `shard`.
+    ///
+    /// The shard's engine ticks the task only while `demand` is pending
+    /// (see [`HelpDemand`]); with nothing pending anywhere in the shard,
+    /// the engine parks. Tasks attached to a declared-Byzantine process are
+    /// silently dropped, exactly as in [`System::add_help_task`].
+    pub fn add_sharded_help_task(
+        &self,
+        shard: &HelpShard,
+        pid: ProcessId,
+        demand: &HelpDemand,
+        task: Box<dyn HelpTask>,
+    ) {
+        if self.env.is_faulty(pid) {
+            return;
+        }
+        let slot = ShardSlot { pid, demand: demand.clone(), task };
+        let mut engines = self.shard_engines.lock();
+        match engines.get_mut(&shard.id) {
+            Some(engine) => {
+                engine.tasks.lock().push(slot);
+                // A parked engine must notice the new task (its demand may
+                // already be pending).
+                engine.wake.bump();
+            }
+            None => {
+                let tasks: ShardTaskList = Arc::new(Mutex::new(vec![slot]));
+                let env = self.env.clone();
+                let wake = Arc::clone(&shard.wake);
+                let loop_wake = Arc::clone(&wake);
+                let loop_tasks = Arc::clone(&tasks);
+                let handle = std::thread::Builder::new()
+                    .name(format!("help-s{}", shard.id))
+                    .spawn(move || shard_help_loop(&env, &loop_wake, &loop_tasks))
+                    .expect("spawn shard help engine");
+                engines.insert(shard.id, ShardEngine { wake, tasks, handle: Some(handle) });
+            }
+        }
+    }
+
+    /// Number of live help-engine threads (unsharded per-process engines
+    /// plus shard engines). A keyed store's budget is its shard count,
+    /// independent of how many keys it instantiated.
+    #[must_use]
+    pub fn help_engine_threads(&self) -> usize {
+        let unsharded = self.engines.lock().iter().flatten().count();
+        unsharded + self.shard_engines.lock().len()
     }
 
     /// Spawns an adversary thread acting as the Byzantine process `pid`.
@@ -385,6 +607,16 @@ impl System {
             }
         }
         drop(engines);
+        let mut shard_engines = self.shard_engines.lock();
+        for engine in shard_engines.values_mut() {
+            // Parked engines wait on the shard condvar, not the gate: bump
+            // so they re-check `is_shutdown` immediately.
+            engine.wake.bump();
+            if let Some(h) = engine.handle.take() {
+                let _ = h.join();
+            }
+        }
+        drop(shard_engines);
         let mut threads = self.threads.lock();
         for h in threads.drain(..) {
             let _ = h.join();
@@ -401,6 +633,59 @@ impl Drop for System {
 impl std::fmt::Debug for System {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("System").field("env", &self.env).finish()
+    }
+}
+
+/// The demand-driven engine of one help shard.
+///
+/// Each sweep ticks every task whose demand is pending, entering the step
+/// gate as the task's process for the tick (so lockstep scheduling and the
+/// paper's process identities are preserved even though many processes'
+/// tasks share the thread). A sweep that ticked nothing parks on the
+/// shard's wake counter until the epoch moves — begun/finished demands and
+/// newly attached tasks all bump it, so the engine never sleeps through
+/// work and never spins while quiet.
+fn shard_help_loop(env: &Env, wake: &Arc<ShardWake>, tasks: &ShardTaskList) {
+    while !env.is_shutdown() {
+        let seen = wake.epoch.load(Ordering::Acquire);
+        let mut ticked = false;
+        let count = tasks.lock().len();
+        for i in 0..count {
+            if env.is_shutdown() {
+                return;
+            }
+            // Take the task out for the tick so concurrent attaches are not
+            // blocked (ticks perform gated steps that can block).
+            let taken = {
+                let mut guard = tasks.lock();
+                let slot = &mut guard[i];
+                slot.demand
+                    .is_pending()
+                    .then(|| (slot.pid, std::mem::replace(&mut slot.task, Box::new(|| {}))))
+            };
+            let Some((pid, mut task)) = taken else { continue };
+            env.run_as(pid, || {
+                task.tick();
+                // Park at the gate once per tick: idle shard engines are
+                // deregistered entirely, busy ones yield fairly.
+                gate::idle_step(&env.gate());
+            });
+            tasks.lock()[i].task = task;
+            ticked = true;
+        }
+        if ticked {
+            std::thread::yield_now();
+            continue;
+        }
+        // Quiet: no participation is held here, so lockstep systems keep
+        // dispatching among the remaining participants while we park.
+        let mut guard = wake.lock.lock();
+        while wake.epoch.load(Ordering::Acquire) == seen && !env.is_shutdown() {
+            // The timeout is belt-and-braces against a missed shutdown
+            // bump; every demand transition bumps the epoch, so real work
+            // never waits on it.
+            wake.cv.wait_for(&mut guard, Duration::from_millis(25));
+        }
     }
 }
 
@@ -531,6 +816,162 @@ mod tests {
         env.run_as(ProcessId::new(1), || {
             w.write(9);
             // Spin (as a participant) until the helper observes the write.
+            while seen.load(Ordering::SeqCst) != 9 {
+                let _ = r.read();
+                if env.is_shutdown() {
+                    break;
+                }
+            }
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 9);
+        s.shutdown();
+    }
+
+    #[test]
+    fn quiet_shard_parks_while_busy_shard_progresses() {
+        // The demand-driven guarantee: a shard with no pending quorum round
+        // does not tick its tasks at all, while a shard with demand makes
+        // continuous progress.
+        let s = System::builder(4).build();
+        let quiet = s.new_help_shard();
+        let busy = s.new_help_shard();
+        let quiet_demand = quiet.new_demand();
+        let busy_demand = busy.new_demand();
+        let quiet_ticks = Arc::new(AtomicUsize::new(0));
+        let busy_ticks = Arc::new(AtomicUsize::new(0));
+        let (qc, bc) = (Arc::clone(&quiet_ticks), Arc::clone(&busy_ticks));
+        s.add_sharded_help_task(
+            &quiet,
+            ProcessId::new(2),
+            &quiet_demand,
+            Box::new(move || {
+                qc.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        s.add_sharded_help_task(
+            &busy,
+            ProcessId::new(3),
+            &busy_demand,
+            Box::new(move || {
+                bc.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        let _op = busy_demand.begin();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while busy_ticks.load(Ordering::SeqCst) < 20 {
+            assert!(std::time::Instant::now() < deadline, "busy shard made no progress");
+            std::thread::yield_now();
+        }
+        assert_eq!(quiet_ticks.load(Ordering::SeqCst), 0, "a quiet shard must not tick");
+        assert_eq!(s.help_engine_threads(), 2);
+        s.shutdown();
+    }
+
+    #[test]
+    fn sharded_tasks_stop_ticking_once_demand_ends() {
+        let s = System::builder(4).build();
+        let shard = s.new_help_shard();
+        let demand = shard.new_demand();
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&ticks);
+        s.add_sharded_help_task(
+            &shard,
+            ProcessId::new(2),
+            &demand,
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        let guard = demand.begin();
+        assert!(demand.is_pending());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while ticks.load(Ordering::SeqCst) < 5 {
+            assert!(std::time::Instant::now() < deadline, "pending demand must be served");
+            std::thread::yield_now();
+        }
+        drop(guard);
+        assert!(!demand.is_pending());
+        // Let the engine observe the drop and park; ticks must then stop.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let after = ticks.load(Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(ticks.load(Ordering::SeqCst), after, "engine must park once demand ends");
+        s.shutdown();
+    }
+
+    #[test]
+    fn byzantine_processes_get_no_sharded_help_tasks() {
+        let s = System::builder(4).byzantine(ProcessId::new(2)).build();
+        let shard = s.new_help_shard();
+        let demand = shard.new_demand();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        s.add_sharded_help_task(
+            &shard,
+            ProcessId::new(2),
+            &demand,
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        let _op = demand.begin();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        assert_eq!(s.help_engine_threads(), 0, "a shard of dropped tasks spawns no engine");
+        s.shutdown();
+    }
+
+    #[test]
+    fn one_shard_engine_serves_many_tasks_of_many_processes() {
+        let s = System::builder(4).build();
+        let shard = s.new_help_shard();
+        let demand = shard.new_demand();
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 1..=4 {
+            let c = Arc::clone(&count);
+            s.add_sharded_help_task(
+                &shard,
+                ProcessId::new(i),
+                &demand,
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        assert_eq!(s.help_engine_threads(), 1, "one engine thread per shard, not per process");
+        let _op = demand.begin();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while count.load(Ordering::SeqCst) < 8 {
+            assert!(std::time::Instant::now() < deadline, "all four tasks must tick");
+            std::thread::yield_now();
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn lockstep_system_supports_sharded_helping() {
+        // A demand-gated helper under the deterministic scheduler: the
+        // engine registers with the gate only while ticking, so a parked
+        // shard never blocks lockstep dispatch.
+        let s = System::builder(4).scheduling(Scheduling::Lockstep(9)).build();
+        let env = s.env().clone();
+        let shard = s.new_help_shard();
+        let demand = shard.new_demand();
+        let (w, r) = crate::register::swmr(env.gate(), ProcessId::new(1), "R", 0u32);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let r2 = r.clone();
+        s.add_sharded_help_task(
+            &shard,
+            ProcessId::new(2),
+            &demand,
+            Box::new(move || {
+                seen2.store(r2.read() as usize, Ordering::SeqCst);
+            }),
+        );
+        env.run_as(ProcessId::new(1), || {
+            w.write(9);
+            let _op = demand.begin();
             while seen.load(Ordering::SeqCst) != 9 {
                 let _ = r.read();
                 if env.is_shutdown() {

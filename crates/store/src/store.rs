@@ -17,6 +17,18 @@
 //! [`ByzStore::read_many`] likewise answers duplicate keys from a single
 //! quorum read. Under skewed (Zipf-like) traffic the dedupe amortizes hot
 //! keys; under spread-out traffic the fusion amortizes the cold ones.
+//!
+//! **Helping is partitioned by shard**: each store shard owns one
+//! demand-driven help shard of the hosting [`System`], and every key's
+//! `Help()` tasks are registered under its shard. A shard with no pending
+//! quorum round parks its engine entirely — so background helping cost
+//! (and, over the MP backend, background quorum traffic) scales with the
+//! *actively used* keys of the touched shards instead of with every
+//! instantiated key, and the help-engine thread budget is the shard count
+//! regardless of how many keys are live. On backends that support it
+//! (`byzreg-mp`), a shard's keys additionally share one scheduler task, so
+//! a fused cross-key batch wakes one task per touched shard instead of one
+//! per base register.
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hasher;
@@ -27,7 +39,7 @@ use parking_lot::Mutex;
 
 use byzreg_core::api::{SignatureRegister, SignatureSigner, SignatureVerifier};
 use byzreg_core::quorum::{verify_quorum_groups, VerifyGroup};
-use byzreg_runtime::{ProcessId, RegisterFactory, Result, System, Value};
+use byzreg_runtime::{HelpShard, ProcessId, RegisterFactory, Result, System, Value};
 
 /// Store-level tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +98,9 @@ pub struct ByzStore<'s, K: Value, V: Value, R: SignatureRegister<V>, F: Register
     factory: F,
     v0: V,
     shards: Vec<Shard<K, V, R>>,
+    /// One help shard per store shard: key `k`'s help tasks live on
+    /// `help[shard_of(k)]`, demand-gated (see module docs).
+    help: Vec<HelpShard>,
 }
 
 impl<'s, K: Value, V: Value, R: SignatureRegister<V>, F: RegisterFactory> ByzStore<'s, K, V, R, F> {
@@ -100,7 +115,8 @@ impl<'s, K: Value, V: Value, R: SignatureRegister<V>, F: RegisterFactory> ByzSto
         assert!(config.shards >= 1, "a store needs at least one shard");
         let shards =
             (0..config.shards).map(|_| Shard { entries: Mutex::new(HashMap::new()) }).collect();
-        ByzStore { system, factory, v0, shards }
+        let help = (0..config.shards).map(|_| system.new_help_shard()).collect();
+        ByzStore { system, factory, v0, shards, help }
     }
 
     /// Number of shards.
@@ -138,13 +154,29 @@ impl<'s, K: Value, V: Value, R: SignatureRegister<V>, F: RegisterFactory> ByzSto
     /// The entry for `key`, installing its register on first touch. Only
     /// `key`'s shard is locked; installation happens under that lock so a
     /// key can never get two competing register instances.
+    ///
+    /// Installation registers the key's help tasks on the shard's help
+    /// shard (demand-driven) and hints the backend that the key's base
+    /// registers belong to the shard's co-scheduling group.
     fn entry(&self, key: &K) -> Arc<Entry<V, R>> {
-        let shard = &self.shards[self.shard_of(key)];
+        let idx = self.shard_of(key);
+        let shard = &self.shards[idx];
         let mut entries = shard.entries.lock();
         if let Some(e) = entries.get(key) {
             return Arc::clone(e);
         }
-        let register = R::install_with_factory(self.system, self.v0.clone(), &self.factory);
+        let help = &self.help[idx];
+        // Close the backend group even if the install panics (n <= 3f).
+        struct GroupScope<'f, G: RegisterFactory>(&'f G);
+        impl<G: RegisterFactory> Drop for GroupScope<'_, G> {
+            fn drop(&mut self) {
+                self.0.close_group();
+            }
+        }
+        self.factory.open_group(help.id() as u64);
+        let scope = GroupScope(&self.factory);
+        let register = R::install_in_shard(self.system, self.v0.clone(), &self.factory, help);
+        drop(scope);
         let signer = Mutex::new(register.signer());
         let e = Arc::new(Entry {
             register,
@@ -451,6 +483,56 @@ mod tests {
         assert_eq!(store.read(p2, &999).unwrap(), Some(42), "v0 of a never-written key");
         assert_eq!(store.len(), 1, "the read instantiated the key");
         system.shutdown();
+    }
+
+    #[test]
+    fn help_engine_threads_stay_within_the_shard_budget_at_512_keys() {
+        // The partitioning guarantee: a store's help-engine thread count is
+        // its shard count, independent of how many keys are instantiated.
+        // (Pre-partitioning, helping also cost only n threads, but every
+        // engine round looped over all keys; now a key costs engine work
+        // only while its shard has pending demand.)
+        let system = System::builder(4).build();
+        let store: ByzStore<'_, u64, u64, VerifiableRegister<u64>, _> =
+            ByzStore::new(&system, LocalFactory, 0, StoreConfig { shards: 8 });
+        for key in 0..512u64 {
+            store.write(key, key).unwrap();
+        }
+        assert_eq!(store.len(), 512);
+        assert!(
+            system.help_engine_threads() <= 8,
+            "512 keys must share the 8 shard engines, got {}",
+            system.help_engine_threads()
+        );
+        // The store stays serviceable: quorum verifies wake the right shard.
+        let p2 = ProcessId::new(2);
+        assert!(store.verify(p2, &17, &17).unwrap());
+        assert!(!store.verify(p2, &17, &99).unwrap());
+        system.shutdown();
+    }
+
+    #[test]
+    fn sharded_helping_serves_all_families_with_byzantine_processes() {
+        // Per-shard helping must preserve liveness with f processes silent:
+        // every quorum decision below succeeds although the declared-
+        // Byzantine pid contributes no help tasks to any shard.
+        fn drive<R: SignatureRegister<u64>>() {
+            let system = System::builder(4).byzantine(ProcessId::new(4)).build();
+            let store: ByzStore<'_, u64, u64, R, _> =
+                ByzStore::new(&system, LocalFactory, 0, StoreConfig { shards: 4 });
+            for key in 0..16u64 {
+                store.write(key, key + 100).unwrap();
+            }
+            let p2 = ProcessId::new(2);
+            for key in 0..16u64 {
+                assert_eq!(store.read(p2, &key).unwrap(), Some(key + 100), "{}", R::FAMILY);
+                assert!(store.verify(p2, &key, &(key + 100)).unwrap(), "{}", R::FAMILY);
+            }
+            system.shutdown();
+        }
+        drive::<VerifiableRegister<u64>>();
+        drive::<AuthenticatedRegister<u64>>();
+        drive::<StickyRegister<u64>>();
     }
 
     #[test]

@@ -89,6 +89,32 @@ impl WorkloadConfig {
         }
     }
 
+    /// The help-scale probe shape: `keys` live (prepopulated) registers
+    /// and a verify-only, unbatched timed phase with uniform key sampling.
+    /// Run at increasing `keys`, it measures whether per-operation verify
+    /// latency scales with the number of *live* keys — the cost the
+    /// per-shard demand-driven help engines are designed to flatten: only
+    /// the keys with a pending quorum round are ticked, so p99 should not
+    /// grow with the key count.
+    #[must_use]
+    pub fn verify_probe(keys: u64) -> Self {
+        WorkloadConfig {
+            keys,
+            shards: 16,
+            ops: 256,
+            read_pct: 0,
+            write_pct: 0,
+            batch: 1,
+            skew: 0.0,
+            writers: 1,
+            readers: 1,
+            n: 4,
+            byzantine: 1,
+            prepopulate: true,
+            seed: 7,
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
