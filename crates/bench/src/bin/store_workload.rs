@@ -7,15 +7,24 @@
 //! cargo run --release -p byzreg-bench --bin store_workload               # BENCH_store.json
 //! cargo run --release -p byzreg-bench --bin store_workload -- out.json   # custom path
 //! cargo run --release -p byzreg-bench --bin store_workload -- --full     # longer shm runs
+//! cargo run --release -p byzreg-bench --bin store_workload -- --adversary # adversary rows only
 //! ```
+//!
+//! `--adversary` runs only the adversarial-MP scenarios (`mp-adversary`,
+//! `mp-partition`) and writes them to `BENCH_adversary.json` — a local
+//! iteration shortcut. It is **not** a valid regression baseline: the
+//! committed `BENCH_store.json` must always come from a flagless run so
+//! every scenario row is present.
 //!
 //! CI runs the short (default) shape and uploads the JSON, so the store's
 //! perf trajectory is tracked from the PR that introduced it.
 
+use std::time::Duration;
+
 use byzreg_bench::{fmt_ns, measure};
 use byzreg_core::api::SignatureRegister;
 use byzreg_core::{AuthenticatedRegister, StickyRegister, VerifiableRegister};
-use byzreg_mp::MpFactory;
+use byzreg_mp::{AdversaryPolicy, MpFactory, NetConfig};
 use byzreg_runtime::{LocalFactory, ProcessId};
 use byzreg_store::store::{ByzStore, StoreConfig};
 use byzreg_store::workload::{
@@ -26,15 +35,31 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut out = "BENCH_store.json".to_string();
+    let mut out: Option<String> = None;
     let mut full = false;
+    let mut adversary_only = false;
     for arg in std::env::args().skip(1) {
         if arg == "--full" {
             full = true;
+        } else if arg == "--adversary" {
+            adversary_only = true;
         } else {
-            out = arg;
+            out = Some(arg);
         }
     }
+    let out = out.unwrap_or_else(|| {
+        if adversary_only { "BENCH_adversary.json" } else { "BENCH_store.json" }.to_string()
+    });
+    // A partial report must never overwrite the committed baseline —
+    // neither by default nor through an explicit output path (any path
+    // whose file name is the baseline's counts, `./`-prefixed or absolute).
+    let targets_baseline =
+        std::path::Path::new(&out).file_name() == Some(std::ffi::OsStr::new("BENCH_store.json"));
+    assert!(
+        !(adversary_only && targets_baseline),
+        "--adversary writes a partial report; refusing to overwrite the committed \
+         BENCH_store.json (write to another path, e.g. BENCH_adversary.json)"
+    );
 
     println!("store workload baselines ({} shape)", if full { "full" } else { "short" });
     println!(
@@ -43,20 +68,33 @@ fn main() {
     );
 
     let mut runs = Vec::new();
-    runs.extend(family_runs::<VerifiableRegister<u64>>(full));
-    runs.extend(family_runs::<AuthenticatedRegister<u64>>(full));
-    runs.extend(family_runs::<StickyRegister<u64>>(full));
-    runs.extend(mp_scale_runs(full));
-    runs.extend(help_scale_runs(full));
+    if !adversary_only {
+        runs.extend(family_runs::<VerifiableRegister<u64>>(full));
+        runs.extend(family_runs::<AuthenticatedRegister<u64>>(full));
+        runs.extend(family_runs::<StickyRegister<u64>>(full));
+        runs.extend(mp_scale_runs(full));
+    }
+    runs.extend(adversary_runs(full));
+    if !adversary_only {
+        runs.extend(help_scale_runs(full));
+    }
 
-    println!();
-    println!("batched verify_many vs per-key loop (shm, skewed 96-check batch)");
-    println!("{:<14} {:>14} {:>14} {:>9}", "family", "looped/check", "batched/check", "speedup");
-    let comparisons = vec![
-        batch_comparison::<VerifiableRegister<u64>>(),
-        batch_comparison::<AuthenticatedRegister<u64>>(),
-        batch_comparison::<StickyRegister<u64>>(),
-    ];
+    let comparisons = if adversary_only {
+        println!("\n--adversary: partial report, NOT a regression baseline");
+        Vec::new()
+    } else {
+        println!();
+        println!("batched verify_many vs per-key loop (shm, skewed 96-check batch)");
+        println!(
+            "{:<14} {:>14} {:>14} {:>9}",
+            "family", "looped/check", "batched/check", "speedup"
+        );
+        vec![
+            batch_comparison::<VerifiableRegister<u64>>(),
+            batch_comparison::<AuthenticatedRegister<u64>>(),
+            batch_comparison::<StickyRegister<u64>>(),
+        ]
+    };
 
     let json = render_json(&runs, &comparisons);
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
@@ -80,21 +118,11 @@ fn shm_cfg(full: bool) -> WorkloadConfig {
 /// sized so the timed window is long enough for the 30% regression gate
 /// not to trip on scheduler noise.)
 fn mp_cfg(full: bool) -> WorkloadConfig {
-    WorkloadConfig {
-        keys: 1024,
-        shards: 8,
-        ops: if full { 192 } else { 96 },
-        read_pct: 40,
-        write_pct: 35,
-        batch: 8,
-        skew: 0.95,
-        writers: 1,
-        readers: 1,
-        n: 4,
-        byzantine: 1,
-        prepopulate: false,
-        seed: 7,
-    }
+    // Same workload shape as the adversarial scenarios (`WorkloadConfig::
+    // mp_adversary`); note the backends still differ in base net config —
+    // this row runs on an instant network, the adversary rows on a 200 µs
+    // jittery one (so the policies have a real schedule to reshape).
+    WorkloadConfig { ops: if full { 192 } else { 96 }, ..WorkloadConfig::mp_adversary() }
 }
 
 /// The MP-scale shape: every one of the 1024 keys is instantiated
@@ -150,6 +178,45 @@ fn mp_scale_runs(full: bool) -> Vec<WorkloadReport> {
                 report.distinct_keys as u64 >= cfg.keys,
                 "scale run must instantiate every key"
             );
+            print_run(&report);
+            report
+        })
+        .collect()
+}
+
+/// The adversarial-MP scenarios: the full store workload with every base
+/// register's virtual-time network scheduled by a **canned**
+/// [`AdversaryPolicy`] — the schedules uniform jitter almost never finds.
+/// `mp-adversary` runs the canned `stress` policy (slow-reader delays, a
+/// depth-3 reorder window, and a hold-back pen on the reading pid `p2`);
+/// `mp-partition` runs the canned `split-heal` policy (`p2` cut off until
+/// the virtual heal instant). The policies are looked up from
+/// [`AdversaryPolicy::canned`] — the same suite the `determinism` bin and
+/// the chaos tests pin — so the benched schedules never drift from the
+/// tested ones. Both are committed rows of `BENCH_store.json`, so the
+/// regression gate also guards the adversarial paths (delays are virtual:
+/// the rows cost wall clock like plain `mp`).
+fn adversary_runs(full: bool) -> Vec<WorkloadReport> {
+    let base = WorkloadConfig::mp_adversary();
+    let canned = AdversaryPolicy::canned(base.n, base.byzantine);
+    let policy = |name: &str| {
+        canned.iter().find(|(n, _)| *n == name).unwrap_or_else(|| panic!("canned {name}")).1.clone()
+    };
+    let scenarios = [("mp-adversary", policy("stress")), ("mp-partition", policy("split-heal"))];
+    scenarios
+        .into_iter()
+        .map(|(backend, policy)| {
+            let mut cfg = WorkloadConfig::mp_adversary();
+            if full {
+                cfg.ops = 192;
+            }
+            let system = build_system(&cfg);
+            let factory = MpFactory::new(NetConfig::jittery(Duration::from_micros(200), cfg.seed))
+                .adversarial(policy);
+            let report =
+                run_workload::<VerifiableRegister<u64>, _>(&system, &factory, backend, &cfg)
+                    .expect("adversary run");
+            system.shutdown();
             print_run(&report);
             report
         })

@@ -1,0 +1,555 @@
+//! Seeded **adversarial delivery schedules** for the virtual-time network.
+//!
+//! Uniform jitter (the [`crate::net::NetConfig`] baseline) explores message
+//! interleavings blindly; the scheduling corner cases the register proofs
+//! actually fight — stale-quorum reads, writer/reader races, a reader cut
+//! off until a quorum has already moved on — almost never arise from it. An
+//! [`AdversaryPolicy`] is a deterministic, seeded policy layer over the
+//! network's delivery heap that *targets* those corners: individual links
+//! get programmable delay distributions, destinations get bounded
+//! reordering windows, groups get temporary partitions that heal, and the
+//! writer's message to a chosen victim can be held back until the rest of a
+//! quorum has already replied.
+//!
+//! # What a policy may and may not do
+//!
+//! The network's assumptions (reliable authenticated FIFO links, see
+//! [`crate::net`]) are *model* assumptions — the adversary lives inside
+//! them. Every tactic therefore preserves two invariants:
+//!
+//! 1. **Per-link FIFO** — a tactic may shift a message's delivery instant,
+//!    but the per-link FIFO floor in [`crate::net`] clamps every instant to
+//!    be non-decreasing along its link, and the reorder window only ever
+//!    releases the *oldest* held message of any given link. Arbitrary
+//!    policies cannot violate link order (property-tested in
+//!    `tests/adversary_schedules.rs`).
+//! 2. **Reliability** — every message is eventually delivered. Partitions
+//!    carry an explicit heal instant, and hold-back pens are flushed by the
+//!    network the moment no other traffic could release them: the reactor
+//!    path flushes all pens when no managed queue has a message left
+//!    (`Net::next_event`), and a raw endpoint's `recv_timeout` flushes the
+//!    pens addressed to *that endpoint* on wall-clock timeout (never other
+//!    destinations' pens — an unrelated reader's timeout must not neuter a
+//!    hold elsewhere).
+//!
+//! # Determinism
+//!
+//! A policy owns its own seed. Every choice it makes is a pure function of
+//! `(policy seed, link, per-sender send index)` — for the send-time tactics
+//! — or of `(policy seed, draw counter)` for the pop-time reorder draws,
+//! where the draw counter advances only on deliveries. Two runs with the
+//! same [`crate::net::NetConfig`] seed, the same policy, and the same
+//! command sequence therefore produce byte-identical delivery schedules —
+//! the contract the `determinism` CI bin pins across process runs.
+
+use std::time::Duration;
+
+use byzreg_runtime::ProcessId;
+
+use crate::net::splitmix64;
+
+/// The directed links a [`Tactic`] applies to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkSet {
+    /// Every link of the network.
+    All,
+    /// Every link *into* the given destination.
+    To(ProcessId),
+    /// Every link *out of* the given sender.
+    From(ProcessId),
+    /// Exactly the listed `(from, to)` links.
+    Links(Vec<(ProcessId, ProcessId)>),
+}
+
+impl LinkSet {
+    /// Whether the directed link `from → to` belongs to this set.
+    #[must_use]
+    pub fn contains(&self, from: ProcessId, to: ProcessId) -> bool {
+        match self {
+            LinkSet::All => true,
+            LinkSet::To(p) => *p == to,
+            LinkSet::From(p) => *p == from,
+            LinkSet::Links(links) => links.contains(&(from, to)),
+        }
+    }
+
+    /// Whether any link of this set ends at `to` (the destination-level
+    /// query behind the reorder window).
+    #[must_use]
+    pub fn touches_dest(&self, to: ProcessId) -> bool {
+        match self {
+            LinkSet::All | LinkSet::From(_) => true,
+            LinkSet::To(p) => *p == to,
+            LinkSet::Links(links) => links.iter().any(|(_, t)| *t == to),
+        }
+    }
+
+    /// Every pid this set names (empty for [`LinkSet::All`]) — the
+    /// validation surface.
+    fn pids(&self) -> Vec<ProcessId> {
+        match self {
+            LinkSet::All => Vec::new(),
+            LinkSet::To(p) | LinkSet::From(p) => vec![*p],
+            LinkSet::Links(links) => links.iter().flat_map(|(f, t)| [*f, *t]).collect(),
+        }
+    }
+}
+
+/// One adversarial scheduling tactic. A policy composes any number of them;
+/// each preserves per-link FIFO and reliability (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tactic {
+    /// Adds a seeded extra delay in `[min, max)` (virtual time) to every
+    /// message on the targeted links — a programmable per-link delay
+    /// distribution, e.g. "this reader's links are slow".
+    Delay {
+        /// The targeted links.
+        links: LinkSet,
+        /// Smallest extra delay (inclusive, virtual time).
+        min: Duration,
+        /// Largest extra delay (exclusive, virtual time; `max <= min`
+        /// degenerates to the constant delay `min`).
+        max: Duration,
+    },
+    /// Bounded reordering at the targeted destinations: each delivery picks
+    /// a seeded choice among the first `depth` scheduled messages of the
+    /// destination's queue, restricted to the *oldest* message of each link
+    /// within that window (so per-link FIFO is preserved by construction).
+    /// `depth <= 1` is a no-op.
+    Reorder {
+        /// Links whose destinations get a reorder window.
+        links: LinkSet,
+        /// Window size (number of queue-head entries eligible per pick).
+        depth: usize,
+    },
+    /// A temporary network partition: every message *crossing* the cut
+    /// between `group` and its complement whose tentative delivery instant
+    /// falls in `[at, heal)` is delayed to `heal`. Messages inside either
+    /// side flow normally, and the cut heals by construction (reliability).
+    Partition {
+        /// One side of the cut (the other side is the complement).
+        group: Vec<ProcessId>,
+        /// Virtual instant the cut appears.
+        at: Duration,
+        /// Virtual instant the cut heals (messages are released here).
+        heal: Duration,
+    },
+    /// The stale-quorum tactic: messages on `writer → victim` are held in a
+    /// pen until `replies` messages from *third parties* — processes other
+    /// than the victim and other than the writer itself (broadcast
+    /// self-copies are not replies) — have been delivered **to the writer**
+    /// while the pen was non-empty — i.e. the victim only learns of a write
+    /// after the rest of a quorum has already responded. Pens are flushed
+    /// (and the count reset) when the threshold is met, or by the network's
+    /// no-other-traffic fallback (reliability).
+    HoldUntilReplies {
+        /// The process whose outbound messages are held.
+        writer: ProcessId,
+        /// The process the held messages are addressed to.
+        victim: ProcessId,
+        /// Third-party deliveries to `writer` that release the pen.
+        replies: usize,
+    },
+}
+
+/// A seeded, deterministic adversarial delivery schedule: a list of
+/// [`Tactic`]s plus the seed all their choices derive from. Compose it into
+/// [`crate::MpConfig`] (or [`crate::MpFactory::adversarial`]) to run any
+/// register emulation under it. The default policy is inert.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryPolicy {
+    /// Seed for every seeded choice the tactics make (independent of the
+    /// base network jitter seed).
+    pub seed: u64,
+    /// The composed tactics, applied in order.
+    pub tactics: Vec<Tactic>,
+}
+
+/// Domain-separation tags so the adversary's draws never correlate with
+/// the base jitter stream (which hashes `seed ^ send_index ^ sender`).
+const TAG_DELAY: u64 = 0xAD5E_0001_0000_0000;
+const TAG_REORDER: u64 = 0xAD5E_0002_0000_0000;
+
+impl AdversaryPolicy {
+    /// The inert policy: no tactics, plain seeded-jitter scheduling.
+    #[must_use]
+    pub fn none() -> Self {
+        AdversaryPolicy::default()
+    }
+
+    /// Canned **slow-reader** policy: every link into `victim` gets a
+    /// seeded extra delay in `[max/2, max)` — the victim observes every
+    /// quorum late, stressing stale-quorum reads.
+    #[must_use]
+    pub fn slow_reader(victim: ProcessId, max: Duration, seed: u64) -> Self {
+        AdversaryPolicy {
+            seed,
+            tactics: vec![Tactic::Delay { links: LinkSet::To(victim), min: max / 2, max }],
+        }
+    }
+
+    /// Canned **bounded-reorder** policy: every destination delivers under
+    /// a seeded reorder window of `depth` (per-link FIFO preserved).
+    #[must_use]
+    pub fn bounded_reorder(depth: usize, seed: u64) -> Self {
+        AdversaryPolicy { seed, tactics: vec![Tactic::Reorder { links: LinkSet::All, depth }] }
+    }
+
+    /// Canned **split-and-heal** policy: `group` is cut off from the rest
+    /// of the network from virtual instant zero until `heal`.
+    #[must_use]
+    pub fn split(group: Vec<ProcessId>, heal: Duration, seed: u64) -> Self {
+        AdversaryPolicy {
+            seed,
+            tactics: vec![Tactic::Partition { group, at: Duration::ZERO, heal }],
+        }
+    }
+
+    /// Canned **hold-back** policy: `writer → victim` messages are penned
+    /// until `replies` non-victim messages have reached the writer — the
+    /// "delay the writer's message to one reader until the other `n−f−1`
+    /// have replied" schedule.
+    #[must_use]
+    pub fn hold_back(writer: ProcessId, victim: ProcessId, replies: usize) -> Self {
+        AdversaryPolicy {
+            seed: 0,
+            tactics: vec![Tactic::HoldUntilReplies { writer, victim, replies }],
+        }
+    }
+
+    /// Canned **stress** policy — the `mp-adversary` workload scenario:
+    /// slow-reader delays and a hold-back pen on the victim, plus a global
+    /// bounded-reorder window.
+    #[must_use]
+    pub fn stress(writer: ProcessId, victim: ProcessId, replies: usize, seed: u64) -> Self {
+        AdversaryPolicy::slow_reader(victim, Duration::from_micros(500), seed)
+            .also(Tactic::Reorder { links: LinkSet::All, depth: 3 })
+            .also(Tactic::HoldUntilReplies { writer, victim, replies })
+    }
+
+    /// Appends one more tactic (builder-style composition).
+    #[must_use]
+    pub fn also(mut self, tactic: Tactic) -> Self {
+        self.tactics.push(tactic);
+        self
+    }
+
+    /// The canned policy suite for an `n`-node register with writer `p1`
+    /// and resilience `f`, named for reports and parameterized tests. Every
+    /// canned policy must keep all three register families linearizable —
+    /// `tests/adversary_schedules.rs` asserts exactly that, per entry.
+    #[must_use]
+    pub fn canned(n: usize, f: usize) -> Vec<(&'static str, AdversaryPolicy)> {
+        let writer = ProcessId::new(1);
+        let victim = ProcessId::new(2);
+        assert!(
+            n > f + 1,
+            "the canned hold-back policy needs n − f − 1 ≥ 1 replies (got n = {n}, f = {f})"
+        );
+        vec![
+            ("slow-reader", AdversaryPolicy::slow_reader(victim, Duration::from_millis(2), 13)),
+            ("bounded-reorder", AdversaryPolicy::bounded_reorder(3, 17)),
+            ("split-heal", AdversaryPolicy::split(vec![victim], Duration::from_millis(3), 19)),
+            ("hold-back", AdversaryPolicy::hold_back(writer, victim, n - f - 1)),
+            ("stress", AdversaryPolicy::stress(writer, victim, n - f - 1, 23)),
+        ]
+    }
+
+    /// `true` when the policy has no tactics (the fast path: the network
+    /// skips all adversary bookkeeping).
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.tactics.is_empty()
+    }
+
+    /// Validates the policy for an `n`-node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent tactic: a partition that never heals, a
+    /// hold with a zero reply threshold (it would never hold), or pids out
+    /// of `1..=n`.
+    pub fn validate(&self, n: usize) {
+        let in_range = |p: ProcessId| {
+            assert!(p.index() >= 1 && p.index() <= n, "{p} is outside the {n}-node network");
+        };
+        for tactic in &self.tactics {
+            match tactic {
+                Tactic::Delay { links, .. } => links.pids().into_iter().for_each(in_range),
+                Tactic::Reorder { links, depth } => {
+                    assert!(*depth <= 64, "reorder depth {depth} is unreasonably large");
+                    links.pids().into_iter().for_each(in_range);
+                }
+                Tactic::Partition { group, at, heal } => {
+                    assert!(heal > at, "a partition must heal after it appears");
+                    group.iter().copied().for_each(in_range);
+                }
+                Tactic::HoldUntilReplies { writer, victim, replies } => {
+                    assert!(*replies >= 1, "a hold with no reply threshold never releases");
+                    in_range(*writer);
+                    in_range(*victim);
+                    assert!(writer != victim, "holding a self-loop link starves the writer");
+                }
+            }
+        }
+    }
+
+    /// The adversary's shift of one send: the tentative delivery instant
+    /// `base_ns` of `from`'s `send_index`-th send on `from → to`, plus
+    /// every matching delay tactic's seeded draw, then floored through the
+    /// partition cuts. Pure — equal inputs give equal instants across runs.
+    /// (The network re-applies [`AdversaryPolicy::partition_floor`] after
+    /// its per-link FIFO clamp: the clamp can push an instant into a cut
+    /// window, and the post-pass keeps the cut airtight.)
+    #[must_use]
+    pub(crate) fn shift_send(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        send_index: u64,
+        base_ns: u64,
+    ) -> u64 {
+        let mut at = base_ns;
+        for (ti, tactic) in self.tactics.iter().enumerate() {
+            if let Tactic::Delay { links, min, max } = tactic {
+                if !links.contains(from, to) {
+                    continue;
+                }
+                let (min, max) = (min.as_nanos() as u64, max.as_nanos() as u64);
+                let extra = if max > min {
+                    let h = splitmix64(
+                        self.seed
+                            ^ TAG_DELAY
+                            ^ splitmix64(
+                                send_index
+                                    ^ ((from.index() as u64) << 48)
+                                    ^ ((to.index() as u64) << 40)
+                                    ^ ((ti as u64) << 32),
+                            ),
+                    );
+                    min + h % (max - min)
+                } else {
+                    min
+                };
+                at = at.saturating_add(extra);
+            }
+        }
+        self.partition_floor(from, to, at)
+    }
+
+    /// Floors a delivery instant through the partition tactics until it is
+    /// outside every active cut crossed by `from → to` (one cut's heal
+    /// instant may land inside another cut's window, so the pass iterates
+    /// to a fixpoint — it terminates because the instant strictly rises
+    /// toward the finite set of heal instants). Idempotent and monotone,
+    /// so the network may apply it both before and after the per-link FIFO
+    /// clamp, and again when a hold-back pen releases.
+    #[must_use]
+    pub(crate) fn partition_floor(&self, from: ProcessId, to: ProcessId, mut at: u64) -> u64 {
+        loop {
+            let before = at;
+            for tactic in &self.tactics {
+                if let Tactic::Partition { group, at: cut, heal } = tactic {
+                    let crosses = group.contains(&from) != group.contains(&to);
+                    let (cut, heal) = (cut.as_nanos() as u64, heal.as_nanos() as u64);
+                    if crosses && at >= cut && at < heal {
+                        at = heal;
+                    }
+                }
+            }
+            if at == before {
+                return at;
+            }
+        }
+    }
+
+    /// The reorder window for deliveries to `to`: the largest `depth` of
+    /// any [`Tactic::Reorder`] touching that destination (`1` = no window).
+    #[must_use]
+    pub(crate) fn reorder_depth(&self, to: ProcessId) -> usize {
+        self.tactics
+            .iter()
+            .filter_map(|t| match t {
+                Tactic::Reorder { links, depth } if links.touches_dest(to) => Some(*depth),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// The seeded reorder draw: which of `k` FIFO-safe candidates the
+    /// `draw_index`-th reordering releases.
+    #[must_use]
+    pub(crate) fn reorder_pick(&self, draw_index: u64, k: usize) -> usize {
+        (splitmix64(self.seed ^ TAG_REORDER ^ draw_index) % k as u64) as usize
+    }
+
+    /// The `(writer, victim, replies)` triples of every hold tactic, in
+    /// tactic order — the network builds one pen per entry.
+    #[must_use]
+    pub(crate) fn holds(&self) -> Vec<(ProcessId, ProcessId, usize)> {
+        self.tactics
+            .iter()
+            .filter_map(|t| match t {
+                Tactic::HoldUntilReplies { writer, victim, replies } => {
+                    Some((*writer, *victim, *replies))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_sets_classify_links() {
+        let (p1, p2, p3) = (ProcessId::new(1), ProcessId::new(2), ProcessId::new(3));
+        assert!(LinkSet::All.contains(p1, p2));
+        assert!(LinkSet::To(p2).contains(p1, p2) && !LinkSet::To(p2).contains(p2, p1));
+        assert!(LinkSet::From(p1).contains(p1, p3) && !LinkSet::From(p1).contains(p3, p1));
+        let links = LinkSet::Links(vec![(p1, p2)]);
+        assert!(links.contains(p1, p2) && !links.contains(p1, p3));
+        assert!(links.touches_dest(p2) && !links.touches_dest(p3));
+        assert!(LinkSet::From(p1).touches_dest(p3), "any destination is reachable from p1");
+    }
+
+    #[test]
+    fn shift_is_deterministic_and_respects_bounds() {
+        let policy = AdversaryPolicy::slow_reader(ProcessId::new(2), Duration::from_micros(100), 7);
+        let (p1, p2, p3) = (ProcessId::new(1), ProcessId::new(2), ProcessId::new(3));
+        for i in 0..256 {
+            let a = policy.shift_send(p1, p2, i, 1_000);
+            let b = policy.shift_send(p1, p2, i, 1_000);
+            assert_eq!(a, b, "equal inputs must shift identically");
+            let extra = a - 1_000;
+            assert!((50_000..100_000).contains(&extra), "extra {extra} outside [max/2, max)");
+            assert_eq!(policy.shift_send(p1, p3, i, 1_000), 1_000, "untargeted link untouched");
+        }
+    }
+
+    #[test]
+    fn different_seeds_shift_differently() {
+        let a = AdversaryPolicy::slow_reader(ProcessId::new(2), Duration::from_micros(100), 7);
+        let b = AdversaryPolicy::slow_reader(ProcessId::new(2), Duration::from_micros(100), 8);
+        let shifts = |p: &AdversaryPolicy| {
+            (0..64)
+                .map(|i| p.shift_send(ProcessId::new(1), ProcessId::new(2), i, 0))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(shifts(&a), shifts(&b));
+    }
+
+    #[test]
+    fn partition_floors_only_crossing_messages_in_window() {
+        let policy = AdversaryPolicy::split(vec![ProcessId::new(2)], Duration::from_micros(10), 0);
+        let (p1, p2, p3) = (ProcessId::new(1), ProcessId::new(2), ProcessId::new(3));
+        assert_eq!(policy.shift_send(p1, p2, 0, 500), 10_000, "crossing, in window: floored");
+        assert_eq!(policy.shift_send(p2, p1, 0, 500), 10_000, "cut is symmetric");
+        assert_eq!(policy.shift_send(p1, p3, 0, 500), 500, "same side: untouched");
+        assert_eq!(policy.shift_send(p1, p2, 0, 10_000), 10_000, "at heal: flows");
+        assert_eq!(policy.shift_send(p1, p2, 0, 12_000), 12_000, "after heal: flows");
+    }
+
+    #[test]
+    fn overlapping_partitions_floor_to_a_fixpoint() {
+        // The second cut's heal (13 µs) lands inside the first cut's
+        // window [12 µs, 20 µs): a single in-order pass would leak a
+        // message into the open first cut; the fixpoint pass may not.
+        let p2 = ProcessId::new(2);
+        let policy = AdversaryPolicy {
+            seed: 0,
+            tactics: vec![
+                Tactic::Partition {
+                    group: vec![p2],
+                    at: Duration::from_micros(12),
+                    heal: Duration::from_micros(20),
+                },
+                Tactic::Partition {
+                    group: vec![p2],
+                    at: Duration::from_micros(5),
+                    heal: Duration::from_micros(13),
+                },
+            ],
+        };
+        let p1 = ProcessId::new(1);
+        assert_eq!(policy.partition_floor(p1, p2, 6_000), 20_000, "6 → 13 → 20");
+        assert_eq!(policy.partition_floor(p1, p2, 20_000), 20_000, "idempotent at heal");
+        assert_eq!(policy.partition_floor(p1, p2, 3_000), 3_000, "before both cuts");
+        assert_eq!(policy.shift_send(p1, p2, 0, 6_000), 20_000, "shift ends outside all cuts");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 4-node network")]
+    fn delay_link_sets_with_out_of_range_pids_are_rejected() {
+        AdversaryPolicy::slow_reader(ProcessId::new(9), Duration::from_micros(10), 0).validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "n − f − 1 ≥ 1")]
+    fn canned_suite_rejects_systems_too_small_for_a_hold() {
+        let _ = AdversaryPolicy::canned(2, 1);
+    }
+
+    #[test]
+    fn reorder_depth_is_per_destination_max() {
+        let policy = AdversaryPolicy::bounded_reorder(3, 0)
+            .also(Tactic::Reorder { links: LinkSet::To(ProcessId::new(2)), depth: 5 });
+        assert_eq!(policy.reorder_depth(ProcessId::new(2)), 5);
+        assert_eq!(policy.reorder_depth(ProcessId::new(3)), 3);
+        assert_eq!(AdversaryPolicy::none().reorder_depth(ProcessId::new(2)), 1);
+    }
+
+    #[test]
+    fn reorder_picks_cover_all_candidates_deterministically() {
+        let policy = AdversaryPolicy::bounded_reorder(4, 99);
+        let picks: Vec<usize> = (0..64).map(|d| policy.reorder_pick(d, 3)).collect();
+        assert_eq!(picks, (0..64).map(|d| policy.reorder_pick(d, 3)).collect::<Vec<_>>());
+        for c in 0..3 {
+            assert!(picks.contains(&c), "candidate {c} never picked in 64 draws");
+        }
+    }
+
+    #[test]
+    fn holds_extract_in_tactic_order() {
+        let (p1, p2, p3) = (ProcessId::new(1), ProcessId::new(2), ProcessId::new(3));
+        let policy = AdversaryPolicy::hold_back(p1, p2, 2).also(Tactic::HoldUntilReplies {
+            writer: p1,
+            victim: p3,
+            replies: 1,
+        });
+        assert_eq!(policy.holds(), vec![(p1, p2, 2), (p1, p3, 1)]);
+        assert!(AdversaryPolicy::none().holds().is_empty());
+    }
+
+    #[test]
+    fn canned_suite_validates() {
+        for (name, policy) in AdversaryPolicy::canned(4, 1) {
+            policy.validate(4);
+            assert!(!policy.is_inert(), "{name} must actually do something");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must heal")]
+    fn partitions_that_never_heal_are_rejected() {
+        AdversaryPolicy {
+            seed: 0,
+            tactics: vec![Tactic::Partition {
+                group: vec![ProcessId::new(1)],
+                at: Duration::from_micros(5),
+                heal: Duration::from_micros(5),
+            }],
+        }
+        .validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "never releases")]
+    fn zero_reply_holds_are_rejected() {
+        AdversaryPolicy::hold_back(ProcessId::new(1), ProcessId::new(2), 0).validate(4);
+    }
+}

@@ -29,6 +29,7 @@ use byzreg_runtime::{
     WritePort,
 };
 
+use crate::adversary::AdversaryPolicy;
 use crate::net::NetConfig;
 use crate::reactor::Reactor;
 use crate::swmr::{MpClient, MpConfig, MpRegister, RegisterGroup};
@@ -112,6 +113,9 @@ impl<T: Value> CellBackend<T> for MpCell<T> {
 /// their tasks and stops the reactor's workers.
 pub struct MpFactory {
     net: NetConfig,
+    /// The adversarial delivery schedule every spawned register's network
+    /// runs under (inert by default; see [`MpFactory::adversarial`]).
+    adversary: AdversaryPolicy,
     reactor: Arc<Reactor>,
     registers: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
     /// Co-scheduling groups by label (see `RegisterFactory::open_group`):
@@ -139,10 +143,33 @@ impl MpFactory {
     pub fn with_workers(net: NetConfig, workers: usize) -> Self {
         MpFactory {
             net,
+            adversary: AdversaryPolicy::none(),
             reactor: Arc::new(Reactor::new(workers)),
             registers: Mutex::new(Vec::new()),
             groups: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Schedules every register this factory spawns under `policy` — each
+    /// register's virtual-time network applies the same seeded adversarial
+    /// tactics (targeted delays, bounded reorder, partitions, hold-backs).
+    ///
+    /// ```
+    /// use byzreg_mp::{AdversaryPolicy, MpFactory, NetConfig};
+    /// use byzreg_runtime::ProcessId;
+    /// use std::time::Duration;
+    ///
+    /// let factory = MpFactory::new(NetConfig::instant())
+    ///     .adversarial(AdversaryPolicy::slow_reader(
+    ///         ProcessId::new(2),
+    ///         Duration::from_millis(1),
+    ///         7,
+    ///     ));
+    /// ```
+    #[must_use]
+    pub fn adversarial(mut self, policy: AdversaryPolicy) -> Self {
+        self.adversary = policy;
+        self
     }
 
     /// Number of emulated registers spawned so far.
@@ -199,6 +226,7 @@ impl RegisterFactory for MpFactory {
             f: env.f(),
             writer: owner,
             net: self.net,
+            adversary: self.adversary.clone(),
             byzantine: env.faulty(),
             trace: false,
         };

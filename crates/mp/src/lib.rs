@@ -7,6 +7,12 @@
 //!   schedule**: jitter decides the *order* messages are handed to
 //!   receivers, never wall-clock sleeps, so the whole schedule replays
 //!   from the seed;
+//! * [`adversary`] — seeded **adversarial delivery schedules** layered
+//!   over the virtual-time heap: targeted per-link delay distributions,
+//!   bounded reordering, temporary partitions that heal, and
+//!   hold-back-until-quorum pens — deterministic, FIFO-preserving, and
+//!   composable into [`MpConfig`](swmr::MpConfig) or
+//!   [`MpFactory::adversarial`](backend::MpFactory::adversarial);
 //! * [`reactor`] — a fixed pool of worker threads multiplexing any number
 //!   of event-driven tasks; quiet tasks cost nothing (workers park, no
 //!   polling);
@@ -43,12 +49,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod backend;
 pub mod net;
 pub mod reactor;
 pub mod swmr;
 
+pub use adversary::{AdversaryPolicy, LinkSet, Tactic};
 pub use backend::MpFactory;
-pub use net::{network, DeliverySchedule, Endpoint, NetConfig};
+pub use net::{adversarial_network, network, DeliverySchedule, Endpoint, NetConfig};
 pub use reactor::{Reactor, ReactorTask, TaskId};
 pub use swmr::{MpClient, MpConfig, MpRegister, Msg, NodeStateMachine, RegisterGroup};

@@ -18,18 +18,42 @@
 //! the same seed and the same send sequence therefore produce the identical
 //! delivery schedule — the property the reactor determinism tests pin down.
 //!
-//! Per-link FIFO is preserved under jitter: a link's delivery instants are
-//! forced non-decreasing, and the global send sequence number breaks ties
-//! in send order.
+//! # Heap invariants
+//!
+//! The delivery schedule is a set of per-destination min-heaps of
+//! [`Envelope`]s ordered by `(deliver_at, seq)`. Every layer above this
+//! module — the reactor's event pops, and any [`AdversaryPolicy`] tactic —
+//! relies on three invariants the heap maintains:
+//!
+//! 1. **Per-link FIFO floor** — `link_clock[(from, to)]` records the last
+//!    delivery instant scheduled on each directed link, and every send's
+//!    instant is clamped to at least that floor before insertion. No matter
+//!    how a policy shifts instants, two messages on one link can never
+//!    swap: their instants are non-decreasing in send order.
+//! 2. **`(deliver_at, seq)` tiebreak** — `seq` is a single global send
+//!    counter, so messages scheduled for the same instant (common under the
+//!    FIFO clamp, and after a partition heals a burst onto one instant)
+//!    deliver in send order. Total order ⇒ no unordered heap races.
+//! 3. **Monotone virtual clock** — `now` only ratchets up to the largest
+//!    instant handed out, so later sends are never scheduled before
+//!    already-delivered traffic on the same link.
+//!
+//! An [`AdversaryPolicy`] manipulates *tentative* instants before the FIFO
+//! clamp (delays, partition floors), picks among FIFO-safe heap heads after
+//! it (bounded reorder), or diverts a link's envelopes into a pen that
+//! re-enters the heap through the same clamp (hold-back) — so every tactic
+//! inherits the invariants instead of having to re-establish them.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use byzreg_runtime::ProcessId;
+
+use crate::adversary::AdversaryPolicy;
 
 /// Seeded delivery-jitter configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -70,7 +94,7 @@ impl NetConfig {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -111,6 +135,18 @@ impl<M> Ord for Envelope<M> {
 /// observable the same-seed determinism tests compare across runs.
 pub type DeliverySchedule = Vec<(ProcessId, ProcessId)>;
 
+/// One hold-back pen (one per [`AdversaryPolicy`] hold tactic): envelopes
+/// on `writer → victim` wait here until `replies` deliveries from third
+/// parties (neither the victim nor the writer itself) reach the writer
+/// while the pen is non-empty.
+struct Pen<M> {
+    writer: ProcessId,
+    victim: ProcessId,
+    replies: usize,
+    seen: usize,
+    held: VecDeque<Envelope<M>>,
+}
+
 struct NetState<M> {
     /// The virtual clock: the largest delivery instant handed out so far.
     now: u64,
@@ -124,6 +160,10 @@ struct NetState<M> {
     sends: Vec<u64>,
     /// Recorded delivery order, when tracing is on.
     trace: Option<DeliverySchedule>,
+    /// Next adversarial reorder-draw index (advances per reorder pick).
+    adv_draws: u64,
+    /// Hold-back pens, one per adversary hold tactic.
+    pens: Vec<Pen<M>>,
 }
 
 /// The shared fabric of one simulated network: destination queues, the
@@ -131,6 +171,8 @@ struct NetState<M> {
 pub(crate) struct Net<M> {
     n: usize,
     config: NetConfig,
+    /// The adversarial delivery policy (inert by default).
+    adversary: AdversaryPolicy,
     state: Mutex<NetState<M>>,
     /// Signals blocked [`Endpoint::recv_timeout`] callers on every send.
     cv: Condvar,
@@ -140,10 +182,28 @@ pub(crate) struct Net<M> {
 }
 
 impl<M: Send + 'static> Net<M> {
-    pub(crate) fn new(n: usize, config: NetConfig, traced: bool) -> Arc<Self> {
+    pub(crate) fn new(
+        n: usize,
+        config: NetConfig,
+        adversary: AdversaryPolicy,
+        traced: bool,
+    ) -> Arc<Self> {
+        adversary.validate(n);
+        let pens = adversary
+            .holds()
+            .into_iter()
+            .map(|(writer, victim, replies)| Pen {
+                writer,
+                victim,
+                replies,
+                seen: 0,
+                held: VecDeque::new(),
+            })
+            .collect();
         Arc::new(Net {
             n,
             config,
+            adversary,
             state: Mutex::new(NetState {
                 now: 0,
                 seq: 0,
@@ -151,6 +211,8 @@ impl<M: Send + 'static> Net<M> {
                 link_clock: vec![0; n * n],
                 sends: vec![0; n],
                 trace: traced.then(Vec::new),
+                adv_draws: 0,
+                pens,
             }),
             cv: Condvar::new(),
             wake: Mutex::new(None),
@@ -168,23 +230,161 @@ impl<M: Send + 'static> Net<M> {
     }
 
     /// Pops the globally next due message among the destinations marked in
-    /// `managed` (virtual-time order). Used by the register task that hosts
-    /// this network's protocol nodes; unmanaged destinations (declared-
-    /// Byzantine nodes read externally) keep their own queues.
+    /// `managed` (virtual-time order; the adversary's reorder window may
+    /// substitute another FIFO-safe head of the chosen destination). Used
+    /// by the register task that hosts this network's protocol nodes;
+    /// unmanaged destinations (declared-Byzantine nodes read externally)
+    /// keep their own queues.
+    ///
+    /// When no managed queue holds a message but a hold-back pen does, the
+    /// pens are flushed and selection retries: reliable channels mean a
+    /// held message can never be the reason the network goes silent.
     pub(crate) fn next_event(&self, managed: &[bool]) -> Option<(ProcessId, ProcessId, M)> {
         let mut s = self.state.lock();
-        let dest = (0..self.n)
-            .filter(|d| managed[*d])
-            .filter_map(|d| s.queues[d].peek().map(|Reverse(e)| ((e.deliver_at, e.seq), d)))
-            .min()
-            .map(|(_, d)| d)?;
-        let Reverse(env) = s.queues[dest].pop().expect("peeked head");
-        s.now = s.now.max(env.deliver_at);
+        loop {
+            let dest = (0..self.n)
+                .filter(|d| managed[*d])
+                .filter_map(|d| s.queues[d].peek().map(|Reverse(e)| ((e.deliver_at, e.seq), d)))
+                .min()
+                .map(|(_, d)| d);
+            match dest {
+                Some(dest) => {
+                    let (env, flushed) = self.pop_for(&mut s, dest).expect("peeked head");
+                    if flushed {
+                        // A pen flush may have fed an unmanaged (Byzantine)
+                        // destination blocked in recv_timeout.
+                        self.cv.notify_all();
+                    }
+                    let to = ProcessId::new(dest + 1);
+                    return Some((to, env.from, env.payload));
+                }
+                None => {
+                    if !self.flush_pens(&mut s) {
+                        return None;
+                    }
+                    self.cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Pops the next message for `dest`, applying the adversary's reorder
+    /// window, ratcheting the virtual clock, recording the trace, and
+    /// running hold-pen bookkeeping. Returns the envelope and whether a pen
+    /// flushed (its messages are now deliverable at other destinations).
+    fn pop_for(&self, s: &mut NetState<M>, dest: usize) -> Option<(Envelope<M>, bool)> {
         let to = ProcessId::new(dest + 1);
+        let depth = self.adversary.reorder_depth(to);
+        let env = if depth <= 1 {
+            s.queues[dest].pop()?.0
+        } else {
+            // Bounded reorder: among the first `depth` scheduled messages,
+            // only the oldest of each link may be released early — the
+            // per-link FIFO invariant survives any pick by construction.
+            let mut window = Vec::new();
+            while window.len() < depth {
+                match s.queues[dest].pop() {
+                    Some(Reverse(e)) => window.push(e),
+                    None => break,
+                }
+            }
+            if window.is_empty() {
+                return None;
+            }
+            let candidates: Vec<usize> = (0..window.len())
+                .filter(|i| !window[..*i].iter().any(|p| p.from == window[*i].from))
+                .collect();
+            let pick = if candidates.len() > 1 {
+                let draw = s.adv_draws;
+                s.adv_draws += 1;
+                candidates[self.adversary.reorder_pick(draw, candidates.len())]
+            } else {
+                candidates[0]
+            };
+            let env = window.remove(pick);
+            for e in window {
+                s.queues[dest].push(Reverse(e));
+            }
+            env
+        };
+        s.now = s.now.max(env.deliver_at);
         if let Some(t) = s.trace.as_mut() {
             t.push((env.from, to));
         }
-        Some((to, env.from, env.payload))
+        let flushed = self.note_delivery(s, to, env.from);
+        Some((env, flushed))
+    }
+
+    /// Hold-pen bookkeeping after delivering a message from `from` to
+    /// `to`: a delivery to a pen's writer from a third party — not the
+    /// victim, and not the writer's own broadcast self-copy (the SWMR
+    /// writer broadcasts to itself too; self-traffic is not a reply) —
+    /// counts toward its reply threshold; pens at threshold flush into
+    /// the victim's queue. Returns `true` if any pen flushed.
+    fn note_delivery(&self, s: &mut NetState<M>, to: ProcessId, from: ProcessId) -> bool {
+        let mut releases: Vec<(ProcessId, Envelope<M>)> = Vec::new();
+        for pen in &mut s.pens {
+            if pen.writer != to || pen.held.is_empty() || from == pen.victim || from == pen.writer {
+                continue;
+            }
+            pen.seen += 1;
+            if pen.seen >= pen.replies {
+                Self::drain_pen(pen, &mut releases);
+            }
+        }
+        self.release(s, releases)
+    }
+
+    /// Empties `pen` into `releases` and resets its reply count — the one
+    /// place pen-drain semantics live, shared by the threshold release and
+    /// both reliability fallbacks.
+    fn drain_pen(pen: &mut Pen<M>, releases: &mut Vec<(ProcessId, Envelope<M>)>) {
+        pen.seen = 0;
+        let victim = pen.victim;
+        releases.extend(pen.held.drain(..).map(|e| (victim, e)));
+    }
+
+    /// Flushes every pen matching `filter`. Returns `true` if anything was
+    /// released.
+    fn flush_where(&self, s: &mut NetState<M>, filter: impl Fn(&Pen<M>) -> bool) -> bool {
+        let mut releases: Vec<(ProcessId, Envelope<M>)> = Vec::new();
+        for pen in &mut s.pens {
+            if filter(pen) {
+                Self::drain_pen(pen, &mut releases);
+            }
+        }
+        self.release(s, releases)
+    }
+
+    /// Flushes every pen unconditionally (the reliability fallback of
+    /// [`Net::next_event`]). Returns `true` if anything was released.
+    fn flush_pens(&self, s: &mut NetState<M>) -> bool {
+        self.flush_where(s, |_| true)
+    }
+
+    /// Flushes only the pens addressed **to** `victim` (the reliability
+    /// fallback of [`Endpoint::recv_timeout`]: a timed-out reader is owed
+    /// its own held messages, but an unrelated endpoint's wall-clock
+    /// timeout must not neuter holds elsewhere in the network). Returns
+    /// `true` if anything was released.
+    fn flush_pens_for(&self, s: &mut NetState<M>, victim: ProcessId) -> bool {
+        self.flush_where(s, |pen| pen.victim == victim)
+    }
+
+    /// Re-enters released envelopes into their destination queues at the
+    /// current virtual instant (never earlier than originally scheduled —
+    /// the `(deliver_at, seq)` order keeps the pen's FIFO intact), still
+    /// respecting any active partition cut (the floor is monotone, so pen
+    /// FIFO survives it).
+    fn release(&self, s: &mut NetState<M>, releases: Vec<(ProcessId, Envelope<M>)>) -> bool {
+        let any = !releases.is_empty();
+        let now = s.now;
+        for (victim, mut env) in releases {
+            env.deliver_at =
+                self.adversary.partition_floor(env.from, victim, env.deliver_at.max(now));
+            s.queues[victim.zero_based()].push(Reverse(env));
+        }
+        any
     }
 
     /// A snapshot of the delivery order recorded so far (`None` when the
@@ -208,8 +408,10 @@ impl<M: Send + 'static> Endpoint<M> {
     }
 
     /// Sends `payload` to `to` (authenticated: stamped with the true
-    /// sender), scheduling it on the virtual delivery queue. Reliable
-    /// channels: a send never fails.
+    /// sender), scheduling it on the virtual delivery queue — or into a
+    /// hold-back pen when an adversary tactic captures the link. Reliable
+    /// channels: a send never fails, and penned messages are still
+    /// eventually delivered.
     pub fn send(&self, to: ProcessId, payload: M) {
         {
             let mut s = self.net.state.lock();
@@ -217,18 +419,29 @@ impl<M: Send + 'static> Endpoint<M> {
             let idx = s.sends[me0];
             s.sends[me0] += 1;
             let jitter = self.net.config.jitter_for(self.me, idx).as_nanos() as u64;
+            let mut tentative = s.now + jitter;
+            if !self.net.adversary.is_inert() {
+                tentative = self.net.adversary.shift_send(self.me, to, idx, tentative);
+            }
             let link = me0 * self.net.n + to.zero_based();
-            // FIFO per link: a link's delivery instants never decrease.
-            let deliver_at = (s.now + jitter).max(s.link_clock[link]);
+            // FIFO per link: a link's delivery instants never decrease,
+            // whatever the adversary did to the tentative instant.
+            let mut deliver_at = tentative.max(s.link_clock[link]);
+            if !self.net.adversary.is_inert() {
+                // The clamp can push an instant *into* an active partition
+                // window; re-applying the floor on the clamped value keeps
+                // the cut airtight (monotone, so the clamp still holds).
+                deliver_at = self.net.adversary.partition_floor(self.me, to, deliver_at);
+            }
             s.link_clock[link] = deliver_at;
             let seq = s.seq;
             s.seq += 1;
-            s.queues[to.zero_based()].push(Reverse(Envelope {
-                from: self.me,
-                deliver_at,
-                seq,
-                payload,
-            }));
+            let env = Envelope { from: self.me, deliver_at, seq, payload };
+            let pen = s.pens.iter().position(|p| p.writer == self.me && p.victim == to);
+            match pen {
+                Some(p) => s.pens[p].held.push_back(env),
+                None => s.queues[to.zero_based()].push(Reverse(env)),
+            }
         }
         self.net.cv.notify_all();
         let wake = self.net.wake.lock().clone();
@@ -247,21 +460,33 @@ impl<M: Send + 'static> Endpoint<M> {
         }
     }
 
-    /// Receives this endpoint's next due message, waiting up to `timeout`
-    /// (wall clock) for one to be sent. Returns `None` on timeout.
+    /// Receives this endpoint's next due message (through the adversary's
+    /// reorder window, if any), waiting up to `timeout` (wall clock) for
+    /// one to be sent. Returns `None` on timeout — but a timeout first
+    /// flushes the hold-back pens *addressed to this endpoint* (reliable
+    /// channels: a held message must not read as a silent network to its
+    /// own victim; pens targeting other destinations are untouched) and
+    /// retries.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<(ProcessId, M)> {
         let deadline = Instant::now() + timeout;
         let mut s = self.net.state.lock();
         loop {
-            if let Some(Reverse(env)) = s.queues[self.me.zero_based()].pop() {
-                s.now = s.now.max(env.deliver_at);
-                if let Some(t) = s.trace.as_mut() {
-                    t.push((env.from, self.me));
+            if let Some((env, flushed)) = self.net.pop_for(&mut s, self.me.zero_based()) {
+                if flushed {
+                    self.net.cv.notify_all();
                 }
                 return Some((env.from, env.payload));
             }
-            let remaining = deadline.checked_duration_since(Instant::now())?;
-            let _ = self.net.cv.wait_for(&mut s, remaining);
+            match deadline.checked_duration_since(Instant::now()) {
+                Some(remaining) => {
+                    let _ = self.net.cv.wait_for(&mut s, remaining);
+                }
+                None => {
+                    if !self.net.flush_pens_for(&mut s, self.me) {
+                        return None;
+                    }
+                }
+            }
         }
     }
 }
@@ -282,7 +507,23 @@ impl<M> std::fmt::Debug for Endpoint<M> {
 /// per node (index `i` ⇔ `p_{i+1}`).
 #[must_use]
 pub fn network<M: Send + 'static>(n: usize, config: NetConfig) -> Vec<Endpoint<M>> {
-    let net = Net::new(n, config, false);
+    adversarial_network(n, config, AdversaryPolicy::none())
+}
+
+/// Builds a fully connected network of `n` nodes scheduled under an
+/// [`AdversaryPolicy`] layered over the seeded jitter of `config`.
+///
+/// # Panics
+///
+/// Panics if the policy is inconsistent for an `n`-node network (see
+/// [`AdversaryPolicy::validate`]).
+#[must_use]
+pub fn adversarial_network<M: Send + 'static>(
+    n: usize,
+    config: NetConfig,
+    adversary: AdversaryPolicy,
+) -> Vec<Endpoint<M>> {
+    let net = Net::new(n, config, adversary, false);
     (1..=n).map(|i| net.endpoint(ProcessId::new(i))).collect()
 }
 
@@ -379,7 +620,8 @@ mod tests {
     /// Drives the identical send pattern on a fresh traced network and
     /// returns the receive-side delivery order at node 3.
     fn traced_run(seed: u64) -> Vec<(ProcessId, u32)> {
-        let net = Net::<u32>::new(3, NetConfig::jittery(Duration::from_millis(4), seed), true);
+        let config = NetConfig::jittery(Duration::from_millis(4), seed);
+        let net = Net::<u32>::new(3, config, AdversaryPolicy::none(), true);
         let eps: Vec<_> = (1..=3).map(|i| net.endpoint(ProcessId::new(i))).collect();
         for round in 0..32u32 {
             eps[0].send(ProcessId::new(3), round);
@@ -404,6 +646,169 @@ mod tests {
     #[test]
     fn different_seeds_interleave_senders_differently() {
         assert_ne!(traced_run(11), traced_run(12));
+    }
+
+    #[test]
+    fn adversarial_delay_keeps_links_fifo() {
+        use crate::adversary::AdversaryPolicy;
+        let eps = adversarial_network::<u32>(
+            3,
+            NetConfig::jittery(Duration::from_millis(1), 5),
+            AdversaryPolicy::slow_reader(ProcessId::new(2), Duration::from_millis(4), 9),
+        );
+        for i in 0..50 {
+            eps[0].send(ProcessId::new(2), i);
+            eps[2].send(ProcessId::new(2), 100 + i);
+        }
+        let mut from_p1 = Vec::new();
+        let mut from_p3 = Vec::new();
+        while let Some((from, v)) = eps[1].recv_timeout(Duration::from_millis(5)) {
+            if from == ProcessId::new(1) {
+                from_p1.push(v);
+            } else {
+                from_p3.push(v);
+            }
+        }
+        assert_eq!(from_p1, (0..50).collect::<Vec<_>>(), "targeted link stays FIFO");
+        assert_eq!(from_p3, (100..150).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_reorder_interleaves_but_keeps_links_fifo() {
+        use crate::adversary::AdversaryPolicy;
+        let eps = adversarial_network::<u32>(
+            3,
+            NetConfig::instant(),
+            AdversaryPolicy::bounded_reorder(3, 21),
+        );
+        for i in 0..40 {
+            eps[0].send(ProcessId::new(3), i);
+            eps[1].send(ProcessId::new(3), 100 + i);
+        }
+        let mut order = Vec::new();
+        while let Some(pair) = eps[2].recv_timeout(Duration::from_millis(5)) {
+            order.push(pair);
+        }
+        assert_eq!(order.len(), 80, "reorder must not lose messages");
+        let of = |p: usize| -> Vec<u32> {
+            order.iter().filter(|(f, _)| *f == ProcessId::new(p)).map(|(_, v)| *v).collect()
+        };
+        assert_eq!(of(1), (0..40).collect::<Vec<_>>(), "per-link FIFO under reorder");
+        assert_eq!(of(2), (100..140).collect::<Vec<_>>());
+        // An instant network without the adversary delivers in pure send
+        // order (strict alternation); the window must have broken it.
+        let senders: Vec<ProcessId> = order.iter().map(|(f, _)| *f).collect();
+        let alternating: Vec<ProcessId> = (0..80).map(|i| ProcessId::new(1 + i % 2)).collect();
+        assert_ne!(senders, alternating, "depth-3 window should visibly reorder");
+    }
+
+    #[test]
+    fn partition_delays_crossing_traffic_until_heal() {
+        use crate::adversary::AdversaryPolicy;
+        // p2 is cut off for the first 2 virtual ms; p1→p3 flows normally.
+        let eps = adversarial_network::<u32>(
+            3,
+            NetConfig::jittery(Duration::from_micros(100), 3),
+            AdversaryPolicy::split(vec![ProcessId::new(2)], Duration::from_millis(2), 0),
+        );
+        eps[0].send(ProcessId::new(2), 1); // crossing: held to heal instant
+        eps[0].send(ProcessId::new(3), 2); // same side: immediate
+        let (_, v) = eps[2].recv_timeout(Duration::from_millis(5)).unwrap();
+        assert_eq!(v, 2);
+        // The crossing message is still delivered (reliability) — at the
+        // heal instant on the virtual clock, which pop order realizes.
+        let (_, v) = eps[1].recv_timeout(Duration::from_millis(50)).unwrap();
+        assert_eq!(v, 1, "partitioned traffic arrives after the heal");
+    }
+
+    #[test]
+    fn hold_back_releases_after_replies_reach_the_writer() {
+        use crate::adversary::AdversaryPolicy;
+        let (p1, p2, p3) = (ProcessId::new(1), ProcessId::new(2), ProcessId::new(3));
+        let eps = adversarial_network::<u32>(
+            3,
+            NetConfig::instant(),
+            AdversaryPolicy::hold_back(p1, p2, 2),
+        );
+        eps[0].send(p2, 7); // penned until two replies reach the writer
+        eps[2].send(p1, 30);
+        eps[2].send(p1, 31);
+        assert_eq!(eps[0].recv_timeout(Duration::from_secs(1)).unwrap(), (p3, 30));
+        assert_eq!(eps[0].recv_timeout(Duration::from_secs(1)).unwrap(), (p3, 31));
+        // The second delivery to the writer met the threshold: flushed.
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_secs(1)).unwrap(),
+            (p1, 7),
+            "pen releases once the quorum of replies formed"
+        );
+    }
+
+    #[test]
+    fn writer_self_traffic_does_not_release_a_hold() {
+        use crate::adversary::AdversaryPolicy;
+        let (p1, p2, p3) = (ProcessId::new(1), ProcessId::new(2), ProcessId::new(3));
+        let eps = adversarial_network::<u32>(
+            3,
+            NetConfig::instant(),
+            AdversaryPolicy::hold_back(p1, p2, 1),
+        );
+        eps[0].send(p2, 7); // penned
+                            // The SWMR writer broadcasts to itself too; a self-copy delivery
+                            // must not count as a "reply" or the stale-quorum schedule would
+                            // dissolve before any other process responded.
+        eps[0].send(p1, 1);
+        assert_eq!(eps[0].recv_timeout(Duration::from_secs(1)).unwrap(), (p1, 1));
+        eps[2].send(p2, 8);
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_secs(1)).unwrap(),
+            (p3, 8),
+            "pen survived the writer's self-delivery"
+        );
+        // One genuine third-party reply releases it.
+        eps[2].send(p1, 2);
+        assert_eq!(eps[0].recv_timeout(Duration::from_secs(1)).unwrap(), (p3, 2));
+        assert_eq!(eps[1].recv_timeout(Duration::from_secs(1)).unwrap(), (p1, 7));
+    }
+
+    #[test]
+    fn unrelated_timeouts_do_not_release_other_destinations_pens() {
+        use crate::adversary::AdversaryPolicy;
+        let (p1, p2, p3) = (ProcessId::new(1), ProcessId::new(2), ProcessId::new(3));
+        let eps = adversarial_network::<u32>(
+            3,
+            NetConfig::instant(),
+            AdversaryPolicy::hold_back(p1, p2, 5),
+        );
+        eps[0].send(p2, 7); // penned
+                            // p3's wall-clock timeout must not flush a pen addressed to p2 —
+                            // otherwise any endpoint polling an empty queue (e.g. a Byzantine
+                            // observer) would silently neuter hold tactics network-wide.
+        assert!(eps[2].recv_timeout(Duration::from_millis(10)).is_none());
+        eps[2].send(p2, 8); // direct traffic to the victim, sent later
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_secs(1)).unwrap(),
+            (p3, 8),
+            "the later direct message arrives first: the pen was still intact"
+        );
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_millis(50)).unwrap(),
+            (p1, 7),
+            "the victim's own timeout fallback heals its pen"
+        );
+    }
+
+    #[test]
+    fn held_messages_are_not_lost_when_traffic_drains() {
+        use crate::adversary::AdversaryPolicy;
+        let (p1, p2) = (ProcessId::new(1), ProcessId::new(2));
+        let eps = adversarial_network::<u32>(
+            3,
+            NetConfig::instant(),
+            AdversaryPolicy::hold_back(p1, p2, 5),
+        );
+        eps[0].send(p2, 9); // penned; no reply traffic will ever come
+                            // The victim's recv timeout flushes the pens (reliability fallback).
+        assert_eq!(eps[1].recv_timeout(Duration::from_millis(20)).unwrap(), (p1, 9));
     }
 
     #[test]

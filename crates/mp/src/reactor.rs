@@ -18,6 +18,31 @@
 //! [`Reactor::dispatches`] and the `quiet_reactor_parks_instead_of_spinning`
 //! test). There is no polling interval anywhere — wake-ups are edge-
 //! triggered by [`Reactor::schedule`].
+//!
+//! # Scheduling invariants (and what the adversary may touch)
+//!
+//! The reactor makes exactly three guarantees, and deliberately **no**
+//! ordering guarantee beyond them:
+//!
+//! 1. **Task mutual exclusion** — a task's `run` never overlaps itself
+//!    (the per-slot mutex), so a register's node state machines are
+//!    single-threaded with respect to each other.
+//! 2. **No lost wake-ups** — the per-task `queued` dedup flag is cleared
+//!    *before* `run` executes, so input arriving mid-run re-queues the
+//!    task rather than racing the drain.
+//! 3. **Run-to-quiescence** — each dispatch drains everything ready at
+//!    that moment; a task left with pending input is necessarily also
+//!    left queued.
+//!
+//! *Delivery order is not the reactor's concern.* The order messages reach
+//! protocol nodes is decided entirely by the virtual-time heap in
+//! [`crate::net`] — its per-link FIFO floor and `(deliver_at, seq)`
+//! tiebreak (see the net module docs) hold whichever worker happens to run
+//! the task, which is why an [`crate::adversary::AdversaryPolicy`] plugs
+//! into the *network* and never into this scheduler: reordering dispatches
+//! here could not change what `next_event` hands out, and a policy that
+//! respected the heap invariants there needs nothing from the reactor to
+//! stay deterministic.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};

@@ -89,6 +89,32 @@ impl WorkloadConfig {
         }
     }
 
+    /// The adversarial-MP scenario shape (the `mp-adversary` /
+    /// `mp-partition` rows of `BENCH_store.json`): the hot-key MP mix —
+    /// every base-register access is a quorum protocol over a simulated
+    /// network scheduled by an `AdversaryPolicy` — sized so the timed
+    /// window clears the regression gate's noise floor. The reading pid is
+    /// `p2`, which is exactly the victim every canned policy targets: the
+    /// measured path is the adversarially-delayed one.
+    #[must_use]
+    pub fn mp_adversary() -> Self {
+        WorkloadConfig {
+            keys: 1024,
+            shards: 8,
+            ops: 96,
+            read_pct: 40,
+            write_pct: 35,
+            batch: 8,
+            skew: 0.95,
+            writers: 1,
+            readers: 1,
+            n: 4,
+            byzantine: 1,
+            prepopulate: false,
+            seed: 7,
+        }
+    }
+
     /// The help-scale probe shape: `keys` live (prepopulated) registers
     /// and a verify-only, unbatched timed phase with uniform key sampling.
     /// Run at increasing `keys`, it measures whether per-operation verify

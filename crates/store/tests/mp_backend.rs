@@ -79,3 +79,33 @@ fn mp_store_with_500_keys_stays_within_a_fixed_thread_budget() {
     assert_eq!(store.read(p2, &499).unwrap(), Some(499 * 3 + 1));
     system.shutdown();
 }
+
+#[test]
+fn store_over_adversarial_mp_stays_correct() {
+    // The full keyed-store surface (writes, reads, batched verifies) over
+    // an MpFactory whose every register is scheduled by the composite
+    // stress policy: slow-reader delays, a depth-3 reorder window, and a
+    // hold-back pen on the reading pid p2.
+    use byzreg_mp::AdversaryPolicy;
+    use std::time::Duration;
+
+    let system = System::builder(4).build();
+    let factory = MpFactory::new(NetConfig::jittery(Duration::from_micros(200), 7))
+        .adversarial(AdversaryPolicy::stress(ProcessId::new(1), ProcessId::new(2), 2, 23));
+    let store: ByzStore<'_, u64, u64, VerifiableRegister<u64>, _> =
+        ByzStore::new(&system, &factory, 0, StoreConfig { shards: 4 });
+
+    for key in 0..24u64 {
+        store.write(key, key + 100).unwrap();
+    }
+    let p2 = ProcessId::new(2);
+    for key in 0..24u64 {
+        assert_eq!(store.read(p2, &key).unwrap(), Some(key + 100), "key {key} under stress");
+    }
+    let checks: Vec<(u64, u64)> = (0..24u64).flat_map(|k| [(k, k + 100), (k, k + 999)]).collect();
+    let got = store.verify_many(p2, &checks).unwrap();
+    for (i, ok) in got.iter().enumerate() {
+        assert_eq!(*ok, i % 2 == 0, "check {i}: genuine values verify, bogus ones do not");
+    }
+    system.shutdown();
+}
